@@ -1,0 +1,4 @@
+//! Figures 6 & 7 share one sweep (startup + inference per NN).
+fn main() {
+    println!("{}", gr_bench::fig06_07_startup_inference());
+}

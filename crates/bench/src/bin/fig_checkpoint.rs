@@ -1,0 +1,4 @@
+//! Regenerates one paper artifact; see gr-bench docs.
+fn main() {
+    println!("{}", gr_bench::fig_checkpoint());
+}

@@ -1,0 +1,44 @@
+//! Modeled replayer costs — why GR startup is "register accesses and GPU
+//! memory copy" instead of seconds of stack initialization.
+
+use gr_sim::SimDuration;
+
+/// Interpreter dispatch per action.
+pub const ACTION_DISPATCH: SimDuration = SimDuration::from_nanos(300);
+
+/// Static verification per action (§5.1).
+pub const VERIFY_PER_ACTION: SimDuration = SimDuration::from_nanos(150);
+
+/// Reading the recording from storage (eMMC-class flash), bytes/sec.
+pub const STORAGE_BW: f64 = 120e6;
+
+/// GRZ decompression throughput, bytes/sec.
+pub const DECOMPRESS_BW: f64 = 300e6;
+
+/// Copying dumps into GPU memory, bytes/sec.
+pub const UPLOAD_BW: f64 = 2.0e9;
+
+/// Rebuilding one PTE.
+pub const MAP_PER_PAGE: SimDuration = SimDuration::from_nanos(500);
+
+/// Interrupt-context switch (enter or eret).
+pub const IRQ_CTX_SWITCH: SimDuration = SimDuration::from_nanos(800);
+
+/// Checkpoint copy bandwidth (GPU memory + registers → host), bytes/sec.
+pub const CHECKPOINT_BW: f64 = 0.4e9;
+
+/// Duration of moving `bytes` at `bw` bytes/sec.
+pub fn xfer(bytes: u64, bw: f64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_times_scale() {
+        assert_eq!(xfer(120_000_000, STORAGE_BW), SimDuration::from_secs(1));
+        assert!(xfer(1 << 20, UPLOAD_BW) < SimDuration::from_millis(1));
+    }
+}

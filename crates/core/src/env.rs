@@ -1,0 +1,188 @@
+//! Deployment environments (§6.3).
+//!
+//! The replayer runs at user level (mmap'd registers, select()-style IRQ
+//! waits), at kernel level (a module reusing the stock driver's IRQ
+//! plumbing), inside a TEE (normal/secure world switching on entry), or
+//! bare-metal (where it must bring up SoC power/clocks itself, including
+//! the firmware mailbox dance on v3d).
+
+use gr_gpu::machine::Machine;
+use gr_gpu::sku::GpuFamilyKind;
+use gr_sim::SimDuration;
+use gr_soc::mailbox::{MboxRequest, MboxStatus};
+use gr_soc::pmc::{Pmc, PmcDomain, SETTLE_DELAY};
+
+use crate::error::ReplayError;
+
+/// Where the replayer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvKind {
+    /// Daemon with kernel bypass (paper: Mali user-level replayer).
+    UserLevel,
+    /// Kernel module (paper: v3d replayer).
+    KernelLevel,
+    /// TrustZone secure world (OPTEE-hosted).
+    Tee,
+    /// No OS at all (paper: standalone v3d replayer, 50 KB binary).
+    Baremetal,
+}
+
+impl std::fmt::Display for EnvKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvKind::UserLevel => write!(f, "user"),
+            EnvKind::KernelLevel => write!(f, "kernel"),
+            EnvKind::Tee => write!(f, "tee"),
+            EnvKind::Baremetal => write!(f, "baremetal"),
+        }
+    }
+}
+
+/// An initialized deployment environment bound to a machine.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    kind: EnvKind,
+    machine: Machine,
+}
+
+impl Environment {
+    /// Initializes the environment: maps registers/memory and ensures GPU
+    /// power. User/kernel/TEE inherit the kernel's power configuration
+    /// transparently; baremetal replays the extracted bring-up sequence
+    /// itself (PMC writes on Mali-like SoCs, mailbox property calls on
+    /// v3d-like ones).
+    ///
+    /// # Errors
+    ///
+    /// Fails if power never stabilizes.
+    pub fn new(kind: EnvKind, machine: Machine) -> Result<Environment, ReplayError> {
+        let setup = match kind {
+            EnvKind::UserLevel => SimDuration::from_millis(2), // mmap + uio setup
+            EnvKind::KernelLevel => SimDuration::from_millis(1), // module init
+            EnvKind::Tee => SimDuration::from_millis(8),       // TA session + SMC setup
+            EnvKind::Baremetal => SimDuration::from_millis(4), // CPU boot glue
+        };
+        machine.advance(setup);
+        match kind {
+            EnvKind::Baremetal => {
+                // The ported power/clock bring-up (§6.3).
+                match machine.sku().family {
+                    GpuFamilyKind::V3d => {
+                        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+                            let mut mbox = machine.mailbox().lock();
+                            mbox.submit(MboxRequest::SetPower { domain, on: true })
+                                .map_err(|_| ReplayError::Env("mailbox busy".into()))?;
+                            loop {
+                                match mbox.status() {
+                                    MboxStatus::Done => {
+                                        mbox.take_response();
+                                        break;
+                                    }
+                                    MboxStatus::Busy => {
+                                        let t = mbox.next_completion().expect("pending");
+                                        machine.clock().advance_to(t);
+                                    }
+                                    MboxStatus::Idle => {
+                                        return Err(ReplayError::Env("mailbox idle".into()))
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    GpuFamilyKind::Mali => {
+                        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+                            machine.pmc().write32(Pmc::pwr_ctrl_off(domain), 1);
+                        }
+                    }
+                }
+                machine.advance(SETTLE_DELAY);
+            }
+            _ => {
+                // "Replayers at the user or the kernel level reuse the
+                // configuration done by the kernel transparently."
+                for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+                    machine.pmc().write32(Pmc::pwr_ctrl_off(domain), 1);
+                }
+                machine.advance(SETTLE_DELAY);
+            }
+        }
+        if !machine.pmc().is_stable(PmcDomain::GpuCore) {
+            return Err(ReplayError::Env("GPU power did not stabilize".into()));
+        }
+        Ok(Environment { kind, machine })
+    }
+
+    /// The environment kind.
+    pub fn kind(&self) -> EnvKind {
+        self.kind
+    }
+
+    /// The machine underneath.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Extra per-action overhead of this environment.
+    pub fn action_overhead(&self) -> SimDuration {
+        match self.kind {
+            EnvKind::UserLevel => SimDuration::from_nanos(150),
+            EnvKind::KernelLevel => SimDuration::from_nanos(100),
+            EnvKind::Tee => SimDuration::from_nanos(200),
+            EnvKind::Baremetal => SimDuration::from_nanos(50),
+        }
+    }
+
+    /// Fixed cost of entering a replay (TEE world switch, kernel ioctl).
+    pub fn replay_entry_cost(&self) -> SimDuration {
+        match self.kind {
+            EnvKind::UserLevel => SimDuration::from_micros(2),
+            EnvKind::KernelLevel => SimDuration::from_micros(9),
+            EnvKind::Tee => SimDuration::from_micros(55), // SMC world switch
+            EnvKind::Baremetal => SimDuration::ZERO,
+        }
+    }
+
+    /// Extra latency observing an interrupt (user: select() wakeup).
+    pub fn irq_wait_overhead(&self) -> SimDuration {
+        match self.kind {
+            EnvKind::UserLevel => SimDuration::from_micros(4),
+            EnvKind::KernelLevel => SimDuration::from_micros(1),
+            EnvKind::Tee => SimDuration::from_micros(2),
+            EnvKind::Baremetal => SimDuration::from_nanos(300),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::{MALI_G71, V3D_RPI4};
+
+    #[test]
+    fn all_envs_power_the_gpu() {
+        for kind in [EnvKind::UserLevel, EnvKind::KernelLevel, EnvKind::Tee, EnvKind::Baremetal] {
+            let machine = Machine::new(&MALI_G71, 3);
+            let env = Environment::new(kind, machine.clone()).unwrap();
+            assert!(machine.pmc().is_stable(PmcDomain::GpuCore), "{kind}");
+            assert_eq!(env.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn baremetal_v3d_uses_the_mailbox() {
+        let machine = Machine::new(&V3D_RPI4, 3);
+        Environment::new(EnvKind::Baremetal, machine.clone()).unwrap();
+        assert!(machine.pmc().is_stable(PmcDomain::GpuMem));
+    }
+
+    #[test]
+    fn overheads_rank_sensibly() {
+        let machine = Machine::new(&MALI_G71, 3);
+        let bare = Environment::new(EnvKind::Baremetal, machine.clone()).unwrap();
+        let tee = Environment::new(EnvKind::Tee, machine).unwrap();
+        assert!(bare.action_overhead() < tee.action_overhead());
+        assert!(bare.replay_entry_cost() < tee.replay_entry_cost());
+        assert!(tee.irq_wait_overhead() < SimDuration::from_millis(1));
+        assert_eq!(EnvKind::Tee.to_string(), "tee");
+    }
+}

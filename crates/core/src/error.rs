@@ -1,0 +1,135 @@
+//! Replay errors.
+//!
+//! §5.4: when the replayer cannot recover it "seeks to emit meaningful
+//! errors as the full driver does: it reports the failed action and the
+//! associated source locations in the full driver" — hence the register
+//! names in the `Display` output.
+
+use gr_recording::ContainerError;
+
+/// Why a load or replay failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The recording container was malformed or tampered with.
+    Container(ContainerError),
+    /// The static verifier rejected the recording (§5.1).
+    Verify(String),
+    /// A `RegReadOnce` observed a value different from the record run —
+    /// the GPU state diverged.
+    Diverged {
+        /// Failing action index.
+        index: usize,
+        /// Register offset.
+        reg: u32,
+        /// Register name (driver source location analogue).
+        reg_name: &'static str,
+        /// Expected value.
+        expect: u32,
+        /// Observed value.
+        got: u32,
+    },
+    /// A `RegReadWait` poll never matched within its timeout.
+    PollTimeout {
+        /// Failing action index.
+        index: usize,
+        /// Register offset.
+        reg: u32,
+        /// Register name.
+        reg_name: &'static str,
+    },
+    /// A `WaitIrq` timed out.
+    IrqTimeout {
+        /// Failing action index.
+        index: usize,
+        /// IRQ line.
+        line: u32,
+    },
+    /// The OS revoked the GPU lease mid-replay (§5.3 preemption).
+    Preempted {
+        /// Action index at which the preemption was observed.
+        index: usize,
+    },
+    /// App-supplied I/O did not match the recording's slots.
+    Io(String),
+    /// Environment/bring-up failure.
+    Env(String),
+    /// Physical memory exhausted while loading.
+    OutOfMemory,
+    /// Re-execution recovery gave up (§5.4 persistent failure).
+    RecoveryFailed {
+        /// Attempts made.
+        attempts: u32,
+        /// The last underlying error.
+        last: Box<ReplayError>,
+    },
+    /// Unknown recording id.
+    BadRecording(usize),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Container(e) => write!(f, "recording container: {e}"),
+            ReplayError::Verify(msg) => write!(f, "recording rejected by verifier: {msg}"),
+            ReplayError::Diverged { index, reg, reg_name, expect, got } => write!(
+                f,
+                "state divergence at action {index}: {reg_name} ({reg:#x}) expected {expect:#x}, got {got:#x}"
+            ),
+            ReplayError::PollTimeout { index, reg, reg_name } => {
+                write!(f, "poll timeout at action {index} on {reg_name} ({reg:#x})")
+            }
+            ReplayError::IrqTimeout { index, line } => {
+                write!(f, "irq timeout at action {index} on line {line}")
+            }
+            ReplayError::Preempted { index } => write!(f, "preempted at action {index}"),
+            ReplayError::Io(msg) => write!(f, "replay i/o: {msg}"),
+            ReplayError::Env(msg) => write!(f, "environment: {msg}"),
+            ReplayError::OutOfMemory => write!(f, "out of physical memory"),
+            ReplayError::RecoveryFailed { attempts, last } => {
+                write!(f, "recovery failed after {attempts} attempts: {last}")
+            }
+            ReplayError::BadRecording(id) => write!(f, "unknown recording id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ContainerError> for ReplayError {
+    fn from(e: ContainerError) -> Self {
+        ReplayError::Container(e)
+    }
+}
+
+impl ReplayError {
+    /// `true` for transient failures §5.4 re-execution may overcome.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ReplayError::Diverged { .. }
+                | ReplayError::PollTimeout { .. }
+                | ReplayError::IrqTimeout { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_registers() {
+        let e = ReplayError::Diverged {
+            index: 7,
+            reg: 0x2024,
+            reg_name: "JS0_STATUS",
+            expect: 2,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("JS0_STATUS") && s.contains("action 7"));
+        assert!(e.is_recoverable());
+        assert!(!ReplayError::OutOfMemory.is_recoverable());
+        assert!(!ReplayError::Preempted { index: 0 }.is_recoverable());
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-SKU recording patching (§6.4).
+//!
+//! A recording from one Mali SKU can replay on another SKU of the family
+//! after three fixes: (1) re-arranging page-table permission bits
+//! (G31/G52 use an LPAE-style order, G71 the standard one); (2) flipping
+//! the read-allocate bit in the translation configuration register; (3)
+//! optionally rewriting the per-job core-affinity register so the job
+//! spreads over all of the target's shader cores. The patch also rebinds
+//! the GPU-ID expectation the recording asserts.
+
+use gr_gpu::mali::pgtable::convert_flag_bits;
+use gr_gpu::mali::regs as mr;
+use gr_gpu::sku::{GpuFamilyKind, GpuSku};
+use gr_recording::{Action, Recording};
+
+use crate::error::ReplayError;
+
+/// What to patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchOptions {
+    /// Re-encode page-table permission bits for the target's layout.
+    pub pgtable_format: bool,
+    /// Fix the MMU translation-config register value.
+    pub mmu_config: bool,
+    /// Rewrite job core-affinity masks to the target's full core set.
+    pub core_affinity: bool,
+}
+
+impl PatchOptions {
+    /// Everything — full-speed replay on the target.
+    pub fn full() -> PatchOptions {
+        PatchOptions {
+            pgtable_format: true,
+            mmu_config: true,
+            core_affinity: true,
+        }
+    }
+
+    /// Page tables + MMU config only (the Fig. 9 mid bar: replay works
+    /// but uses only the recorded affinity's cores).
+    pub fn without_affinity() -> PatchOptions {
+        PatchOptions {
+            pgtable_format: true,
+            mmu_config: true,
+            core_affinity: false,
+        }
+    }
+}
+
+/// Produces a patched copy of `rec` retargeted from `from` to `to`.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Verify`] if either SKU is not Mali-family or
+/// the recording does not match `from`.
+pub fn patch_recording(
+    rec: &Recording,
+    from: &GpuSku,
+    to: &'static GpuSku,
+    opts: PatchOptions,
+) -> Result<Recording, ReplayError> {
+    if from.family != GpuFamilyKind::Mali || to.family != GpuFamilyKind::Mali {
+        return Err(ReplayError::Verify(
+            "cross-SKU patching is a Mali-family mechanism".into(),
+        ));
+    }
+    if rec.meta.gpu_id != from.gpu_id {
+        return Err(ReplayError::Verify(format!(
+            "recording was made on gpu_id {:#x}, not {:#x}",
+            rec.meta.gpu_id, from.gpu_id
+        )));
+    }
+    let mut out = rec.clone();
+    out.meta.gpu_id = to.gpu_id;
+    out.meta.sku_name = to.name.to_string();
+    let target_affinity = (1u32 << to.cores) - 1;
+
+    for ta in &mut out.actions {
+        match &mut ta.action {
+            Action::RegReadOnce { reg, expect, .. } if *reg == mr::GPU_ID => {
+                *expect = to.gpu_id;
+            }
+            Action::RegReadOnce { reg, expect, .. } if *reg == mr::SHADER_PRESENT => {
+                *expect = target_affinity;
+            }
+            Action::RegWrite { reg, val, .. } if *reg == mr::SHADER_PWRON && opts.core_affinity => {
+                *val = target_affinity;
+            }
+            Action::RegReadWait { reg, mask, val, .. }
+                if *reg == mr::SHADER_READY && opts.core_affinity =>
+            {
+                *mask = target_affinity;
+                *val = target_affinity;
+            }
+            Action::RegWrite { reg, val, .. } if *reg == mr::AS0_TRANSCFG && opts.mmu_config => {
+                if to.requires_rd_alloc {
+                    *val |= mr::TRANSCFG_RD_ALLOC;
+                } else {
+                    *val &= !mr::TRANSCFG_RD_ALLOC;
+                }
+            }
+            Action::RegWrite { reg, val, .. }
+                if (*reg == mr::JS0_AFFINITY || *reg == mr::JS0_AFFINITY_NEXT)
+                    && opts.core_affinity =>
+            {
+                *val = target_affinity;
+            }
+            Action::MapGpuMem { pte_flags, .. } if opts.pgtable_format => {
+                for bits in pte_flags.iter_mut() {
+                    *bits = convert_flag_bits(from.pte_format, to.pte_format, u64::from(*bits)) as u16;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::{MALI_G31, MALI_G71, V3D_RPI4};
+    use gr_gpu::PteFormat;
+    use gr_recording::{RecordingMeta, TimedAction};
+
+    fn g31_rec() -> Recording {
+        let mut rec = Recording::new(RecordingMeta::new("mali", "G31", MALI_G31.gpu_id, "t"));
+        rec.actions = vec![
+            TimedAction::immediate(Action::RegReadOnce {
+                reg: mr::GPU_ID,
+                expect: MALI_G31.gpu_id,
+                ignore: false,
+            }),
+            TimedAction::immediate(Action::RegWrite {
+                reg: mr::AS0_TRANSCFG,
+                mask: u32::MAX,
+                val: mr::TRANSCFG_ENABLE,
+            }),
+            TimedAction::immediate(Action::MapGpuMem {
+                va: 0x10_0000,
+                pte_flags: vec![
+                    gr_gpu::mali::pgtable::encode_flags(
+                        PteFormat::MaliLpae,
+                        gr_gpu::mali::pgtable::PteFlags::rw_cpu(),
+                    ) as u16,
+                ],
+            }),
+            TimedAction::immediate(Action::RegWrite {
+                reg: mr::JS0_AFFINITY,
+                mask: u32::MAX,
+                val: 0x1,
+            }),
+        ];
+        rec
+    }
+
+    #[test]
+    fn full_patch_rewrites_everything() {
+        let rec = g31_rec();
+        let patched = patch_recording(&rec, &MALI_G31, &MALI_G71, PatchOptions::full()).unwrap();
+        assert_eq!(patched.meta.gpu_id, MALI_G71.gpu_id);
+        assert!(matches!(
+            patched.actions[0].action,
+            Action::RegReadOnce { expect, .. } if expect == MALI_G71.gpu_id
+        ));
+        assert!(matches!(
+            patched.actions[1].action,
+            Action::RegWrite { val, .. } if val & mr::TRANSCFG_RD_ALLOC != 0
+        ));
+        let Action::MapGpuMem { pte_flags, .. } = &patched.actions[2].action else {
+            panic!()
+        };
+        let std_rw = gr_gpu::mali::pgtable::encode_flags(
+            PteFormat::MaliStandard,
+            gr_gpu::mali::pgtable::PteFlags::rw_cpu(),
+        ) as u16;
+        assert_eq!(pte_flags[0], std_rw, "permission bits re-arranged");
+        assert!(matches!(
+            patched.actions[3].action,
+            Action::RegWrite { val: 0xFF, .. }
+        ), "affinity widened to 8 cores");
+    }
+
+    #[test]
+    fn partial_patch_keeps_recorded_affinity() {
+        let rec = g31_rec();
+        let patched =
+            patch_recording(&rec, &MALI_G31, &MALI_G71, PatchOptions::without_affinity()).unwrap();
+        assert!(matches!(
+            patched.actions[3].action,
+            Action::RegWrite { val: 0x1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_mali_and_mismatched_source() {
+        let rec = g31_rec();
+        assert!(patch_recording(&rec, &V3D_RPI4, &MALI_G71, PatchOptions::full()).is_err());
+        assert!(patch_recording(&rec, &MALI_G71, &MALI_G71, PatchOptions::full()).is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! The replayer proper: Init / Load / Replay (§5).
+
+use std::collections::HashMap;
+
+use gr_gpu::machine::WaitOutcome;
+use gr_recording::{Action, Recording};
+use gr_sim::{SimDuration, SimTime};
+use gr_soc::IrqLine;
+
+use crate::costs;
+use crate::env::Environment;
+use crate::error::ReplayError;
+use crate::handoff::GpuLease;
+use crate::iface::NanoIface;
+use crate::nano::NanoDriver;
+use crate::verify;
+
+/// Default cap on physical pages a recording may map (§5.1: "apps or the
+/// replayer can reject memory-hungry recordings").
+pub const DEFAULT_MAX_PAGES: u64 = 24 * 1024; // 96 MiB
+
+/// Maximum §5.4 re-execution attempts before giving up.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// App-supplied input/output buffers for one replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayIo {
+    /// One byte buffer per input slot (must match slot lengths).
+    pub inputs: Vec<Vec<u8>>,
+    /// Filled by the replayer, one per output slot.
+    pub outputs: Vec<Vec<u8>>,
+}
+
+impl ReplayIo {
+    /// Builds an IO block shaped for `rec` (inputs zeroed, outputs sized).
+    pub fn for_recording(rec: &Recording) -> ReplayIo {
+        ReplayIo {
+            inputs: rec.inputs.iter().map(|s| vec![0u8; s.len as usize]).collect(),
+            outputs: rec.outputs.iter().map(|s| vec![0u8; s.len as usize]).collect(),
+        }
+    }
+
+    /// Sets input slot `slot` from f32 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not exist or sizes mismatch.
+    pub fn set_input_f32(&mut self, slot: usize, vals: &[f32]) {
+        let buf = &mut self.inputs[slot];
+        assert_eq!(buf.len(), vals.len() * 4, "input size mismatch");
+        for (chunk, v) in buf.chunks_exact_mut(4).zip(vals) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads output slot `slot` as f32 values.
+    pub fn output_f32(&self, slot: usize) -> Vec<f32> {
+        self.outputs[slot]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect()
+    }
+}
+
+/// Result of a successful replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Actions executed (last attempt).
+    pub actions: usize,
+    /// §5.4 re-execution attempts used beyond the first.
+    pub retries: u32,
+    /// Virtual time the replay took.
+    pub wall: SimDuration,
+    /// GPU jobs completed (WaitIrq successes).
+    pub jobs: u32,
+    /// Checkpoints taken.
+    pub checkpoints: u32,
+    /// Time from replay start until the first job wait began — the
+    /// replayer-side startup (reset, dump loads, page-table rebuild).
+    pub startup: SimDuration,
+}
+
+struct Loaded {
+    rec: Recording,
+}
+
+struct Checkpoint {
+    action_idx: usize,
+    jobs: u32,
+    memory: Vec<(u64, Vec<u8>)>,
+    reg_state: HashMap<u32, u32>,
+}
+
+/// The GPUReplay replayer.
+pub struct Replayer {
+    env: Environment,
+    iface: NanoIface,
+    nano: NanoDriver,
+    loaded: Vec<Loaded>,
+    lease: GpuLease,
+    /// Take a checkpoint every N completed jobs (None = disabled; §5.3
+    /// finds checkpointing generally inferior to re-execution).
+    pub checkpoint_every_jobs: Option<u32>,
+    /// Physical-page cap enforced at load time.
+    pub max_pages: u64,
+    reg_state: HashMap<u32, u32>,
+    checkpoint: Option<Checkpoint>,
+}
+
+impl std::fmt::Debug for Replayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replayer")
+            .field("env", &self.env.kind())
+            .field("recordings", &self.loaded.len())
+            .finish()
+    }
+}
+
+impl Replayer {
+    /// Init: acquires the GPU in `env` (§5 API #1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has too little memory for a page-table root.
+    pub fn new(env: Environment) -> Replayer {
+        let iface = NanoIface::for_family(env.machine().sku().family);
+        let nano = NanoDriver::new(env.machine().clone(), iface)
+            .expect("machine must have memory for page tables");
+        Replayer {
+            env,
+            iface,
+            nano,
+            loaded: Vec::new(),
+            lease: GpuLease::new(),
+            checkpoint_every_jobs: None,
+            max_pages: DEFAULT_MAX_PAGES,
+            reg_state: HashMap::new(),
+            checkpoint: None,
+        }
+    }
+
+    /// The lease the OS/arbiter uses to preempt this replayer.
+    pub fn lease(&self) -> GpuLease {
+        self.lease.clone()
+    }
+
+    /// The environment.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// A loaded recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn recording(&self, id: usize) -> &Recording {
+        &self.loaded[id].rec
+    }
+
+    /// Load (§5 API #2) from serialized bytes: integrity check, static
+    /// verification, charging storage/decompress costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container and verifier rejections.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<usize, ReplayError> {
+        let machine = self.env.machine().clone();
+        machine.advance(costs::xfer(bytes.len() as u64, costs::STORAGE_BW));
+        let rec = Recording::from_bytes(bytes)?;
+        machine.advance(costs::xfer(rec.dump_bytes() as u64, costs::DECOMPRESS_BW));
+        self.load(rec)
+    }
+
+    /// Load from an in-memory recording (cost of verification only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier rejections.
+    pub fn load(&mut self, rec: Recording) -> Result<usize, ReplayError> {
+        let report = verify::verify(&rec, self.iface, self.max_pages)?;
+        self.env
+            .machine()
+            .advance(costs::VERIFY_PER_ACTION * report.actions as u64);
+        self.loaded.push(Loaded { rec });
+        Ok(self.loaded.len() - 1)
+    }
+
+    /// Replay (§5 API #3): executes the recording with `io`, recovering
+    /// from transient failures by re-execution with injected delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal error when recovery is exhausted, the replay
+    /// is preempted, or I/O does not match.
+    pub fn replay(&mut self, id: usize, io: &mut ReplayIo) -> Result<ReplayReport, ReplayError> {
+        if id >= self.loaded.len() {
+            return Err(ReplayError::BadRecording(id));
+        }
+        if io.inputs.len() != self.loaded[id].rec.inputs.len() {
+            return Err(ReplayError::Io(format!(
+                "recording takes {} inputs, {} given",
+                self.loaded[id].rec.inputs.len(),
+                io.inputs.len()
+            )));
+        }
+        for (i, (buf, slot)) in io.inputs.iter().zip(&self.loaded[id].rec.inputs).enumerate() {
+            if buf.len() != slot.len as usize {
+                return Err(ReplayError::Io(format!(
+                    "input {i} is {} bytes, slot wants {}",
+                    buf.len(),
+                    slot.len
+                )));
+            }
+        }
+        io.outputs = self.loaded[id]
+            .rec
+            .outputs
+            .iter()
+            .map(|s| vec![0u8; s.len as usize])
+            .collect();
+
+        let machine = self.env.machine().clone();
+        machine.advance(self.env.replay_entry_cost());
+        let t0 = machine.now();
+        let mut attempt = 0u32;
+        loop {
+            let delay_scale = 1u64 << attempt; // inject delays on retries
+            match self.run_once(id, io, delay_scale, 0) {
+                Ok((jobs, checkpoints, startup)) => {
+                    return Ok(ReplayReport {
+                        actions: self.loaded[id].rec.actions.len(),
+                        retries: attempt,
+                        wall: machine.now() - t0,
+                        jobs,
+                        checkpoints,
+                        startup,
+                    });
+                }
+                Err(e) if e.is_recoverable() && attempt + 1 < MAX_ATTEMPTS => {
+                    attempt += 1;
+                    // §5.4: reset the GPU, re-populate the page tables,
+                    // start over the whole recording.
+                    self.iface.soft_reset(&machine)?;
+                    self.nano.remap_all()?;
+                }
+                Err(e) if e.is_recoverable() => {
+                    return Err(ReplayError::RecoveryFailed {
+                        attempts: attempt + 1,
+                        last: Box::new(e),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Resumes a preempted replay from the most recent checkpoint (or
+    /// fails if none was taken).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay errors; `Verify` if no checkpoint exists.
+    pub fn resume(&mut self, id: usize, io: &mut ReplayIo) -> Result<ReplayReport, ReplayError> {
+        let machine = self.env.machine().clone();
+        let Some(cp) = self.checkpoint.take() else {
+            return Err(ReplayError::Verify("no checkpoint to resume from".into()));
+        };
+        let t0 = machine.now();
+        // Restore: reset, re-point tables, restore registers and memory.
+        self.iface.soft_reset(&machine)?;
+        self.nano.remap_all()?;
+        self.nano.set_pgtable_base();
+        let mut regs: Vec<(u32, u32)> = cp.reg_state.iter().map(|(r, v)| (*r, *v)).collect();
+        regs.sort_unstable();
+        for (reg, val) in regs {
+            if !self.iface.is_kick_reg(reg) {
+                machine.gpu_write32(reg, val);
+            }
+        }
+        let total = cp.memory.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+        machine.advance(costs::xfer(total, costs::UPLOAD_BW));
+        for (va, bytes) in &cp.memory {
+            self.nano.write_va(*va, bytes)?;
+        }
+        let start = cp.action_idx;
+        let jobs0 = cp.jobs;
+        self.checkpoint = Some(cp);
+        let (jobs, checkpoints, startup) = self.run_from(id, io, 1, start, jobs0)?;
+        Ok(ReplayReport {
+            actions: self.loaded[id].rec.actions.len() - start,
+            retries: 0,
+            wall: machine.now() - t0,
+            jobs,
+            checkpoints,
+            startup,
+        })
+    }
+
+    fn run_once(
+        &mut self,
+        id: usize,
+        io: &mut ReplayIo,
+        delay_scale: u64,
+        start: usize,
+    ) -> Result<(u32, u32, SimDuration), ReplayError> {
+        self.run_from(id, io, delay_scale, start, 0)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_from(
+        &mut self,
+        id: usize,
+        io: &mut ReplayIo,
+        delay_scale: u64,
+        start: usize,
+        jobs0: u32,
+    ) -> Result<(u32, u32, SimDuration), ReplayError> {
+        let machine = self.env.machine().clone();
+        let overhead = self.env.action_overhead();
+        let irq_overhead = self.env.irq_wait_overhead();
+        let rec = &self.loaded[id].rec;
+        let n_actions = rec.actions.len();
+        let mut jobs = jobs0;
+        let mut checkpoints = 0u32;
+        let mut prev_at: Option<SimTime> = None;
+        let run_start = machine.now();
+        let mut startup: Option<SimDuration> = None;
+
+        for idx in start..n_actions {
+            if !self.lease.is_granted() {
+                return Err(ReplayError::Preempted { index: idx });
+            }
+            let rec = &self.loaded[id].rec;
+            let ta = &rec.actions[idx];
+            // §4.5 pacing: keep at least the recorded minimum interval
+            // (scaled up on recovery attempts, §5.4).
+            if ta.min_interval_ns > 0 {
+                if let Some(p) = prev_at {
+                    machine
+                        .clock()
+                        .advance_to(p + SimDuration::from_nanos(ta.min_interval_ns * delay_scale));
+                }
+            }
+            machine.advance(overhead + costs::ACTION_DISPATCH);
+
+            let action = ta.action.clone();
+            match action {
+                Action::RegReadOnce { reg, expect, ignore } => {
+                    let got = machine.gpu_read32(reg);
+                    if !ignore && got != expect {
+                        return Err(ReplayError::Diverged {
+                            index: idx,
+                            reg,
+                            reg_name: self.iface.reg_name(reg),
+                            expect,
+                            got,
+                        });
+                    }
+                }
+                Action::RegReadWait { reg, mask, val, timeout_ns } => {
+                    let timeout = SimDuration::from_nanos(timeout_ns * delay_scale);
+                    let (got, _) = machine.poll_reg(reg, mask, val, SimDuration::from_micros(2), timeout);
+                    if got & mask != val {
+                        return Err(ReplayError::PollTimeout {
+                            index: idx,
+                            reg,
+                            reg_name: self.iface.reg_name(reg),
+                        });
+                    }
+                }
+                Action::RegWrite { reg, mask, val } => {
+                    if mask == u32::MAX {
+                        machine.gpu_write32(reg, val);
+                        self.reg_state.insert(reg, val);
+                    } else {
+                        let old = machine.gpu_read32(reg);
+                        let new = (old & !mask) | (val & mask);
+                        machine.gpu_write32(reg, new);
+                        self.reg_state.insert(reg, new);
+                    }
+                }
+                Action::SetGpuPgtable => self.nano.set_pgtable_base(),
+                Action::MapGpuMem { va, pte_flags } => self.nano.map(va, &pte_flags)?,
+                Action::UnmapGpuMem { va } => self.nano.unmap(va)?,
+                Action::Upload { dump_idx } => {
+                    let rec = &self.loaded[id].rec;
+                    let dump = &rec.dumps[dump_idx as usize];
+                    machine.advance(costs::xfer(dump.bytes.len() as u64, costs::UPLOAD_BW));
+                    let (va, bytes) = (dump.va, dump.bytes.clone());
+                    self.nano.write_va(va, &bytes)?;
+                }
+                Action::CopyToGpu { slot } => {
+                    let rec = &self.loaded[id].rec;
+                    let va = rec.inputs[slot as usize].va;
+                    let data = io.inputs[slot as usize].clone();
+                    machine.advance(costs::xfer(data.len() as u64, costs::UPLOAD_BW));
+                    self.nano.write_va(va, &data)?;
+                }
+                Action::CopyFromGpu { slot } => {
+                    let rec = &self.loaded[id].rec;
+                    let va = rec.outputs[slot as usize].va;
+                    let mut buf = std::mem::take(&mut io.outputs[slot as usize]);
+                    machine.advance(costs::xfer(buf.len() as u64, costs::UPLOAD_BW));
+                    self.nano.read_va(va, &mut buf)?;
+                    io.outputs[slot as usize] = buf;
+                }
+                Action::WaitIrq { line, timeout_ns } => {
+                    startup.get_or_insert_with(|| machine.now() - run_start);
+                    machine.advance(irq_overhead);
+                    let timeout = SimDuration::from_nanos(timeout_ns * delay_scale);
+                    match machine.wait_irq(IrqLine(line), timeout) {
+                        WaitOutcome::Irq => {
+                            jobs += 1;
+                            if let Some(every) = self.checkpoint_every_jobs {
+                                if jobs % every == 0 {
+                                    self.take_checkpoint(idx + 1, jobs);
+                                    checkpoints += 1;
+                                }
+                            }
+                        }
+                        WaitOutcome::Timeout => {
+                            return Err(ReplayError::IrqTimeout { index: idx, line })
+                        }
+                    }
+                }
+                Action::IrqContext { .. } => {
+                    machine.advance(costs::IRQ_CTX_SWITCH);
+                }
+            }
+            prev_at = Some(machine.now());
+        }
+        let startup = startup.unwrap_or_else(|| machine.now() - run_start);
+        Ok((jobs, checkpoints, startup))
+    }
+
+    fn take_checkpoint(&mut self, action_idx: usize, jobs: u32) {
+        let machine = self.env.machine().clone();
+        let memory = self.nano.snapshot_memory();
+        let total: u64 = memory.iter().map(|(_, b)| b.len() as u64).sum();
+        machine.advance(costs::xfer(total, costs::CHECKPOINT_BW));
+        self.checkpoint = Some(Checkpoint {
+            action_idx,
+            jobs,
+            memory,
+            reg_state: self.reg_state.clone(),
+        });
+    }
+
+    /// Cleanup (§5 API #1): resets the GPU and releases all memory.
+    pub fn cleanup(self) {
+        let _ = self.iface.soft_reset(self.env.machine());
+        self.nano.release();
+    }
+}

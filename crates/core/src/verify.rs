@@ -1,0 +1,259 @@
+//! Static verification of security properties (§5.1).
+//!
+//! Before any action executes, the replayer proves: no illegal register
+//! access by the CPU (whitelist of architecturally-defined offsets); no
+//! illegal memory access by the GPU (every Upload/IO target lies inside
+//! memory the replayer itself maps); bounded physical memory (a cap on
+//! peak mapped pages). A fabricated recording can hang the GPU but cannot
+//! break these guarantees.
+
+use std::collections::HashSet;
+
+use gr_recording::{Action, Recording};
+use gr_soc::PAGE_SIZE;
+
+use crate::error::ReplayError;
+use crate::iface::NanoIface;
+
+/// What the verifier proved about a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Actions checked.
+    pub actions: usize,
+    /// Peak simultaneously-mapped pages.
+    pub peak_pages: u64,
+    /// Distinct registers touched.
+    pub registers_touched: usize,
+}
+
+/// Verifies `rec` against the family interface and a physical-page cap.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Verify`] describing the first violated property.
+pub fn verify(
+    rec: &Recording,
+    iface: NanoIface,
+    max_pages: u64,
+) -> Result<VerifyReport, ReplayError> {
+    if NanoIface::from_name(&rec.meta.family) != Some(iface) {
+        return Err(ReplayError::Verify(format!(
+            "recording is for family '{}', replayer is {:?}",
+            rec.meta.family, iface
+        )));
+    }
+    let mut mapped_pages: HashSet<u64> = HashSet::new();
+    let mut region_sizes: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut peak = 0u64;
+    let mut regs = HashSet::new();
+    let mut irq_depth = 0i32;
+    let va_limit = iface.va_limit();
+
+    let check_mapped = |mapped: &HashSet<u64>, va: u64, len: u64, what: &str| {
+        let mut page = va & !(PAGE_SIZE as u64 - 1);
+        let end = va + len.max(1);
+        while page < end {
+            if !mapped.contains(&page) {
+                return Err(ReplayError::Verify(format!(
+                    "{what} touches unmapped GPU memory at {page:#x}"
+                )));
+            }
+            page += PAGE_SIZE as u64;
+        }
+        Ok(())
+    };
+
+    for (i, ta) in rec.actions.iter().enumerate() {
+        if let Some(reg) = ta.action.touches_register() {
+            if !iface.is_known_reg(reg) {
+                return Err(ReplayError::Verify(format!(
+                    "action {i}: illegal register access at offset {reg:#x}"
+                )));
+            }
+            regs.insert(reg);
+        }
+        match &ta.action {
+            Action::MapGpuMem { va, pte_flags } => {
+                if pte_flags.is_empty() {
+                    return Err(ReplayError::Verify(format!("action {i}: empty mapping")));
+                }
+                if va % PAGE_SIZE as u64 != 0
+                    || *va + (pte_flags.len() * PAGE_SIZE) as u64 > va_limit
+                {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: mapping outside GPU address space at {va:#x}"
+                    )));
+                }
+                if let Some(&existing) = region_sizes.get(va) {
+                    if existing != pte_flags.len() {
+                        return Err(ReplayError::Verify(format!(
+                            "action {i}: conflicting re-map at {va:#x}"
+                        )));
+                    }
+                } else {
+                    region_sizes.insert(*va, pte_flags.len());
+                    for p in 0..pte_flags.len() {
+                        mapped_pages.insert(*va + (p * PAGE_SIZE) as u64);
+                    }
+                }
+                peak = peak.max(mapped_pages.len() as u64);
+                if peak > max_pages {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: recording maps {peak} pages, cap is {max_pages}"
+                    )));
+                }
+            }
+            Action::UnmapGpuMem { va } => {
+                let Some(pages) = region_sizes.remove(va) else {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: unmap of unmapped {va:#x}"
+                    )));
+                };
+                for p in 0..pages {
+                    mapped_pages.remove(&(*va + (p * PAGE_SIZE) as u64));
+                }
+            }
+            Action::Upload { dump_idx } => {
+                let Some(dump) = rec.dumps.get(*dump_idx as usize) else {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: dump index {dump_idx} out of range"
+                    )));
+                };
+                check_mapped(&mapped_pages, dump.va, dump.bytes.len() as u64, "dump")?;
+            }
+            Action::CopyToGpu { slot } => {
+                let Some(s) = rec.inputs.get(*slot as usize) else {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: input slot {slot} out of range"
+                    )));
+                };
+                check_mapped(&mapped_pages, s.va, u64::from(s.len), "input")?;
+            }
+            Action::CopyFromGpu { slot } => {
+                let Some(s) = rec.outputs.get(*slot as usize) else {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: output slot {slot} out of range"
+                    )));
+                };
+                check_mapped(&mapped_pages, s.va, u64::from(s.len), "output")?;
+            }
+            Action::WaitIrq { line, .. } => {
+                if *line > iface.max_irq_line() {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: irq line {line} does not exist"
+                    )));
+                }
+            }
+            Action::IrqContext { enter } => {
+                irq_depth += if *enter { 1 } else { -1 };
+                if irq_depth < 0 || irq_depth > 1 {
+                    return Err(ReplayError::Verify(format!(
+                        "action {i}: unbalanced interrupt context"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    if irq_depth != 0 {
+        return Err(ReplayError::Verify("recording ends inside irq context".into()));
+    }
+    Ok(VerifyReport {
+        actions: rec.actions.len(),
+        peak_pages: peak,
+        registers_touched: regs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_recording::{Dump, IoSlot, RecordingMeta, TimedAction};
+
+    fn base_rec() -> Recording {
+        let mut rec = Recording::new(RecordingMeta::new("mali", "G71", 1, "t"));
+        rec.actions.push(TimedAction::immediate(Action::MapGpuMem {
+            va: 0x10_0000,
+            pte_flags: vec![0xF, 0xB],
+        }));
+        rec
+    }
+
+    #[test]
+    fn accepts_well_formed_recordings() {
+        let mut rec = base_rec();
+        rec.dumps.push(Dump { va: 0x10_0000, bytes: vec![0; PAGE_SIZE] });
+        rec.actions.push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.inputs.push(IoSlot { name: "in".into(), va: 0x10_1000, len: 64 });
+        rec.actions.push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        rec.actions.push(TimedAction::immediate(Action::RegWrite {
+            reg: gr_gpu::mali::regs::JS0_COMMAND,
+            mask: u32::MAX,
+            val: 1,
+        }));
+        let report = verify(&rec, NanoIface::Mali, 1024).unwrap();
+        assert_eq!(report.peak_pages, 2);
+        assert_eq!(report.registers_touched, 1);
+    }
+
+    #[test]
+    fn rejects_illegal_register() {
+        let mut rec = base_rec();
+        rec.actions.push(TimedAction::immediate(Action::RegWrite {
+            reg: 0x2FF8, // hole in the map
+            mask: u32::MAX,
+            val: 0xDEAD,
+        }));
+        let err = verify(&rec, NanoIface::Mali, 1024).unwrap_err();
+        assert!(err.to_string().contains("illegal register"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unmapped_gpu_access() {
+        let mut rec = base_rec();
+        rec.dumps.push(Dump { va: 0x90_0000, bytes: vec![0; 16] });
+        rec.actions.push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        let err = verify(&rec, NanoIface::Mali, 1024).unwrap_err();
+        assert!(err.to_string().contains("unmapped GPU memory"), "{err}");
+    }
+
+    #[test]
+    fn enforces_memory_cap() {
+        let mut rec = Recording::new(RecordingMeta::new("mali", "G71", 1, "t"));
+        rec.actions.push(TimedAction::immediate(Action::MapGpuMem {
+            va: 0,
+            pte_flags: vec![0xB; 100],
+        }));
+        let err = verify(&rec, NanoIface::Mali, 10).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn rejects_family_mismatch_and_bad_irq() {
+        let rec = base_rec();
+        assert!(verify(&rec, NanoIface::V3d, 1024).is_err());
+        let mut rec2 = base_rec();
+        rec2.actions.push(TimedAction::immediate(Action::WaitIrq { line: 5, timeout_ns: 1 }));
+        assert!(verify(&rec2, NanoIface::Mali, 1024).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_irq_context() {
+        let mut rec = base_rec();
+        rec.actions.push(TimedAction::immediate(Action::IrqContext { enter: false }));
+        assert!(verify(&rec, NanoIface::Mali, 1024).is_err());
+        let mut rec2 = base_rec();
+        rec2.actions.push(TimedAction::immediate(Action::IrqContext { enter: true }));
+        assert!(verify(&rec2, NanoIface::Mali, 1024).is_err(), "ends inside irq ctx");
+    }
+
+    #[test]
+    fn rejects_out_of_space_mapping() {
+        let mut rec = Recording::new(RecordingMeta::new("mali", "G71", 1, "t"));
+        rec.actions.push(TimedAction::immediate(Action::MapGpuMem {
+            va: NanoIface::Mali.va_limit(),
+            pte_flags: vec![0xB],
+        }));
+        assert!(verify(&rec, NanoIface::Mali, 1024).is_err());
+    }
+}

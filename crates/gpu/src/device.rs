@@ -1,0 +1,151 @@
+//! The device-model contract shared by both GPU families, plus the
+//! VA-translating memory accessor their execution engines use.
+
+use gr_sim::SimTime;
+use gr_soc::{SharedMem, PAGE_SIZE};
+
+use crate::faults::FaultKind;
+use crate::sku::GpuSku;
+use crate::vm::exec::VaMem;
+
+/// A simulated GPU as seen by the machine: registers, event-driven
+/// execution, and fault-injection hooks.
+///
+/// Reads and writes have side effects; implementations tick their internal
+/// event queue before servicing accesses so register state is always
+/// current with the virtual clock.
+pub trait GpuDev: Send {
+    /// Register read (with device side effects).
+    fn read32(&mut self, off: u32) -> u32;
+
+    /// Register write.
+    fn write32(&mut self, off: u32, val: u32);
+
+    /// Processes all events due at the current virtual time.
+    fn tick(&mut self);
+
+    /// Instant of the next scheduled internal event, if any (lets waiters
+    /// advance the clock efficiently).
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Static SKU description.
+    fn sku(&self) -> &'static GpuSku;
+
+    /// Injects a hardware fault (§7.2 validation experiments).
+    fn inject_fault(&mut self, fault: FaultKind);
+
+    /// `true` while a job/reset/flush is in flight.
+    fn busy(&self) -> bool;
+
+    /// Monotonic count of successfully completed jobs.
+    fn jobs_completed(&self) -> u64;
+}
+
+/// [`VaMem`] implementation that routes byte accesses through a page-wise
+/// translation function.
+///
+/// `translate(page_va) -> Option<(page_pa, writable)>`; `None` faults.
+pub struct TranslatingVaMem<'a, F> {
+    mem: &'a SharedMem,
+    translate: F,
+}
+
+impl<'a, F> TranslatingVaMem<'a, F>
+where
+    F: FnMut(u64) -> Option<(u64, bool)>,
+{
+    /// Creates an accessor over `mem` using `translate`.
+    pub fn new(mem: &'a SharedMem, translate: F) -> Self {
+        TranslatingVaMem { mem, translate }
+    }
+}
+
+impl<F> VaMem for TranslatingVaMem<'_, F>
+where
+    F: FnMut(u64) -> Option<(u64, bool)>,
+{
+    fn read_bytes(&mut self, va: u64, len: usize) -> Result<Vec<u8>, u64> {
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let cur_va = va + done as u64;
+            let page_va = cur_va & !(PAGE_SIZE as u64 - 1);
+            let in_page = (PAGE_SIZE as u64 - (cur_va - page_va)) as usize;
+            let chunk = in_page.min(len - done);
+            let (page_pa, _w) = (self.translate)(page_va).ok_or(cur_va)?;
+            let pa = page_pa + (cur_va - page_va);
+            self.mem
+                .read(pa, &mut out[done..done + chunk])
+                .map_err(|_| cur_va)?;
+            done += chunk;
+        }
+        Ok(out)
+    }
+
+    fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur_va = va + done as u64;
+            let page_va = cur_va & !(PAGE_SIZE as u64 - 1);
+            let in_page = (PAGE_SIZE as u64 - (cur_va - page_va)) as usize;
+            let chunk = in_page.min(data.len() - done);
+            let (page_pa, writable) = (self.translate)(page_va).ok_or(cur_va)?;
+            if !writable {
+                return Err(cur_va);
+            }
+            let pa = page_pa + (cur_va - page_va);
+            self.mem
+                .write(pa, &data[done..done + chunk])
+                .map_err(|_| cur_va)?;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_soc::PhysMem;
+
+    #[test]
+    fn translating_accessor_crosses_pages() {
+        let mem = SharedMem::new(PhysMem::new(0, 8 * PAGE_SIZE));
+        // Identity translation but remap page 1 -> phys page 4.
+        let mut vm = TranslatingVaMem::new(&mem, |page_va| {
+            if page_va == PAGE_SIZE as u64 {
+                Some((4 * PAGE_SIZE as u64, true))
+            } else {
+                Some((page_va, true))
+            }
+        });
+        let data: Vec<u8> = (0..100).collect();
+        let va = PAGE_SIZE as u64 - 50;
+        vm.write_bytes(va, &data).unwrap();
+        assert_eq!(vm.read_bytes(va, 100).unwrap(), data);
+        // The second half physically landed in page 4.
+        assert_eq!(mem.read_vec(4 * PAGE_SIZE as u64, 50).unwrap(), data[50..].to_vec());
+    }
+
+    #[test]
+    fn unmapped_page_faults_with_exact_va() {
+        let mem = SharedMem::new(PhysMem::new(0, 4 * PAGE_SIZE));
+        let mut vm = TranslatingVaMem::new(&mem, |page_va| {
+            if page_va == 0 {
+                Some((0, true))
+            } else {
+                None
+            }
+        });
+        let err = vm.read_bytes(PAGE_SIZE as u64 - 2, 8).unwrap_err();
+        assert_eq!(err, PAGE_SIZE as u64, "fault at first byte of unmapped page");
+    }
+
+    #[test]
+    fn readonly_page_rejects_writes() {
+        let mem = SharedMem::new(PhysMem::new(0, 4 * PAGE_SIZE));
+        let mut vm = TranslatingVaMem::new(&mem, |page_va| Some((page_va, false)));
+        assert_eq!(vm.write_bytes(16, &[1, 2, 3]), Err(16));
+        assert!(vm.read_bytes(16, 3).is_ok(), "reads still allowed");
+    }
+}

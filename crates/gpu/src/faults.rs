@@ -1,0 +1,26 @@
+//! Fault injection.
+//!
+//! §7.2 of the paper validates failure detection and recovery by
+//! "(1) offlining GPU cores forcibly and (2) corrupting GPU page table
+//! entries" during replay, plus running the GPU at different clock rates.
+//! These knobs reproduce those experiments against the device models.
+
+/// A fault to inject into a running GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Forcibly power off the cores in `mask`. A job in flight (or the next
+    /// job started) whose affinity intersects the mask fails with a job
+    /// fault. Cleared by GPU soft reset — i.e. transient, recoverable by
+    /// re-execution.
+    OfflineCores {
+        /// Bitmask of cores to take offline.
+        mask: u32,
+    },
+    /// Corrupt the page-table entry mapping `va` (bit-flips the PTE in
+    /// DRAM). The next GPU access through that mapping raises an MMU fault.
+    /// Recovered when the replayer re-populates page tables.
+    CorruptPte {
+        /// Virtual address whose translation to corrupt.
+        va: u64,
+    },
+}

@@ -1,0 +1,117 @@
+//! Mali job-chain binary layout.
+//!
+//! A submitted "GPU job" is a chain of sub-jobs linked through GPU virtual
+//! addresses (§2.2: "a job (called a 'job chain') encloses multiple sub
+//! jobs and the dependencies of sub jobs as a chain"). Each sub-job header
+//! points at a shader blob and carries its modeled cost. The *driver* (and
+//! therefore the recorder/replayer) never parses this layout — only the
+//! runtime emits it and only the GPU consumes it.
+//!
+//! Header layout (48 bytes, little-endian):
+//!
+//! | offset | field        |
+//! |--------|--------------|
+//! | 0x00   | magic `JCHA` |
+//! | 0x04   | flags        |
+//! | 0x08   | next sub-job VA (0 = end of chain) |
+//! | 0x10   | shader blob VA |
+//! | 0x18   | shader blob length |
+//! | 0x1C   | reserved     |
+//! | 0x20   | modeled FLOPs |
+//! | 0x28   | modeled bytes moved |
+
+use crate::timing::JobCost;
+
+/// Magic value identifying a sub-job header ("JCHA").
+pub const JOB_MAGIC: u32 = 0x4A43_4841;
+
+/// Size of one sub-job header in bytes.
+pub const JOB_HEADER_SIZE: usize = 48;
+
+/// Maximum sub-jobs a chain may link (hardware sanity bound; prevents
+/// cycles from hanging the device model).
+pub const MAX_CHAIN_LEN: usize = 64;
+
+/// One decoded sub-job header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobHeader {
+    /// VA of the next sub-job header (0 terminates the chain).
+    pub next_va: u64,
+    /// VA of the shader blob.
+    pub shader_va: u64,
+    /// Shader blob length in bytes.
+    pub shader_len: u32,
+    /// Modeled work.
+    pub cost: JobCost,
+}
+
+impl JobHeader {
+    /// Serializes the header.
+    pub fn encode(&self) -> [u8; JOB_HEADER_SIZE] {
+        let mut b = [0u8; JOB_HEADER_SIZE];
+        b[0x00..0x04].copy_from_slice(&JOB_MAGIC.to_le_bytes());
+        // 0x04: flags, reserved as zero.
+        b[0x08..0x10].copy_from_slice(&self.next_va.to_le_bytes());
+        b[0x10..0x18].copy_from_slice(&self.shader_va.to_le_bytes());
+        b[0x18..0x1C].copy_from_slice(&self.shader_len.to_le_bytes());
+        b[0x20..0x28].copy_from_slice(&self.cost.flops.to_le_bytes());
+        b[0x28..0x30].copy_from_slice(&self.cost.bytes.to_le_bytes());
+        b
+    }
+
+    /// Parses a header from raw bytes.
+    ///
+    /// Returns `None` when the magic does not match or the buffer is short.
+    pub fn decode(b: &[u8]) -> Option<JobHeader> {
+        if b.len() < JOB_HEADER_SIZE {
+            return None;
+        }
+        let magic = u32::from_le_bytes(b[0x00..0x04].try_into().expect("len checked"));
+        if magic != JOB_MAGIC {
+            return None;
+        }
+        Some(JobHeader {
+            next_va: u64::from_le_bytes(b[0x08..0x10].try_into().expect("len checked")),
+            shader_va: u64::from_le_bytes(b[0x10..0x18].try_into().expect("len checked")),
+            shader_len: u32::from_le_bytes(b[0x18..0x1C].try_into().expect("len checked")),
+            cost: JobCost {
+                flops: u64::from_le_bytes(b[0x20..0x28].try_into().expect("len checked")),
+                bytes: u64::from_le_bytes(b[0x28..0x30].try_into().expect("len checked")),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = JobHeader {
+            next_va: 0x1234_5000,
+            shader_va: 0xABCD_E000,
+            shader_len: 100,
+            cost: JobCost {
+                flops: 1_000_000,
+                bytes: 2_000,
+            },
+        };
+        let enc = h.encode();
+        assert_eq!(JobHeader::decode(&enc), Some(h));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let h = JobHeader {
+            next_va: 0,
+            shader_va: 0,
+            shader_len: 0,
+            cost: JobCost::default(),
+        };
+        let mut enc = h.encode();
+        enc[0] ^= 0xFF;
+        assert_eq!(JobHeader::decode(&enc), None);
+        assert_eq!(JobHeader::decode(&enc[..10]), None, "short buffer");
+    }
+}

@@ -1,0 +1,9 @@
+//! The Mali-like GPU family: job-chain submission, two-level page tables
+//! with an executable bit, three interrupt lines, double-buffered job slot.
+
+pub mod device;
+pub mod jobs;
+pub mod pgtable;
+pub mod regs;
+
+pub use device::MaliGpu;

@@ -1,0 +1,452 @@
+//! Mali-family GPU page tables.
+//!
+//! Two-level tables over a 30-bit GPU virtual address space with 4 KiB
+//! pages, stored *in shared DRAM* like the real hardware — which is what
+//! lets the recorder capture them and the replayer rebuild/patch them.
+//!
+//! Level-1 index: `va[29:21]` (512 entries), level-2 index: `va[20:12]`
+//! (512 entries); each table occupies exactly one page of u64 entries.
+//!
+//! Two flag encodings exist in the family (the §6.4 cross-SKU difference):
+//!
+//! | bit | `MaliStandard` (G71) | `MaliLpae` (G31/G52) |
+//! |-----|----------------------|----------------------|
+//! | 0   | VALID                | VALID                |
+//! | 1   | WRITE                | EXEC                 |
+//! | 2   | EXEC                 | CPU_MAPPED           |
+//! | 3   | CPU_MAPPED           | WRITE                |
+
+use gr_soc::{FrameAllocator, MemError, SharedMem, PAGE_SIZE};
+
+use crate::sku::PteFormat;
+
+/// Size of the Mali GPU virtual address space (30 bits = 1 GiB).
+pub const VA_SPACE_BITS: u32 = 30;
+/// Highest valid VA + 1.
+pub const VA_SPACE_SIZE: u64 = 1 << VA_SPACE_BITS;
+
+const L1_SHIFT: u32 = 21;
+const L2_SHIFT: u32 = 12;
+const IDX_MASK: u64 = 0x1FF;
+const PA_MASK: u64 = 0x0000_FFFF_FFFF_F000;
+
+/// Decoded page permissions/attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Mapping present.
+    pub valid: bool,
+    /// GPU may write.
+    pub write: bool,
+    /// GPU may fetch job/shader binary from the page (the bit the Mali
+    /// recorder's dump heuristic keys on, §6.1).
+    pub exec: bool,
+    /// Software bit: page is also mapped into a CPU address space.
+    pub cpu_mapped: bool,
+}
+
+impl PteFlags {
+    /// Read-write data page visible to the CPU.
+    pub fn rw_cpu() -> Self {
+        PteFlags {
+            valid: true,
+            write: true,
+            exec: false,
+            cpu_mapped: true,
+        }
+    }
+
+    /// Executable page (job binaries / shaders).
+    pub fn exec_cpu() -> Self {
+        PteFlags {
+            valid: true,
+            write: true,
+            exec: true,
+            cpu_mapped: true,
+        }
+    }
+
+    /// GPU-internal buffer: not executable, never mapped to CPU.
+    pub fn internal() -> Self {
+        PteFlags {
+            valid: true,
+            write: true,
+            exec: false,
+            cpu_mapped: false,
+        }
+    }
+}
+
+/// Encodes flags into the low PTE bits for `fmt`.
+pub fn encode_flags(fmt: PteFormat, f: PteFlags) -> u64 {
+    let mut bits = 0u64;
+    match fmt {
+        PteFormat::MaliStandard => {
+            bits |= u64::from(f.valid);
+            bits |= u64::from(f.write) << 1;
+            bits |= u64::from(f.exec) << 2;
+            bits |= u64::from(f.cpu_mapped) << 3;
+        }
+        PteFormat::MaliLpae => {
+            bits |= u64::from(f.valid);
+            bits |= u64::from(f.exec) << 1;
+            bits |= u64::from(f.cpu_mapped) << 2;
+            bits |= u64::from(f.write) << 3;
+        }
+        PteFormat::V3dFlat => {
+            bits |= u64::from(f.valid);
+            bits |= u64::from(f.write) << 1;
+        }
+    }
+    bits
+}
+
+/// Decodes the low PTE bits of `fmt`.
+pub fn decode_flags(fmt: PteFormat, bits: u64) -> PteFlags {
+    match fmt {
+        PteFormat::MaliStandard => PteFlags {
+            valid: bits & 1 != 0,
+            write: bits & 2 != 0,
+            exec: bits & 4 != 0,
+            cpu_mapped: bits & 8 != 0,
+        },
+        PteFormat::MaliLpae => PteFlags {
+            valid: bits & 1 != 0,
+            exec: bits & 2 != 0,
+            cpu_mapped: bits & 4 != 0,
+            write: bits & 8 != 0,
+        },
+        PteFormat::V3dFlat => PteFlags {
+            valid: bits & 1 != 0,
+            write: bits & 2 != 0,
+            exec: false,
+            cpu_mapped: false,
+        },
+    }
+}
+
+/// Re-encodes raw PTE flag bits from one format to another — the §6.4
+/// "re-arranging the permission bits" patch.
+pub fn convert_flag_bits(from: PteFormat, to: PteFormat, bits: u64) -> u64 {
+    encode_flags(to, decode_flags(from, bits))
+}
+
+/// Builds a PTE from a physical address and flags.
+pub fn encode_pte(fmt: PteFormat, pa: u64, flags: PteFlags) -> u64 {
+    debug_assert_eq!(pa % PAGE_SIZE as u64, 0, "unaligned page PA");
+    (pa & PA_MASK) | encode_flags(fmt, flags)
+}
+
+/// Splits a PTE into physical address and flags. Returns `None` when the
+/// valid bit (common to all formats) is clear.
+pub fn decode_pte(fmt: PteFormat, pte: u64) -> Option<(u64, PteFlags)> {
+    let flags = decode_flags(fmt, pte);
+    if flags.valid {
+        Some((pte & PA_MASK, flags))
+    } else {
+        None
+    }
+}
+
+/// Errors from page-table manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgtableError {
+    /// A table access fell outside DRAM.
+    Mem(MemError),
+    /// Physical frames exhausted while building tables.
+    OutOfFrames,
+    /// VA outside the GPU address space.
+    BadVa(u64),
+    /// Mapping already exists at the VA.
+    AlreadyMapped(u64),
+}
+
+impl std::fmt::Display for PgtableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PgtableError::Mem(e) => write!(f, "page table memory error: {e}"),
+            PgtableError::OutOfFrames => write!(f, "out of physical frames for page tables"),
+            PgtableError::BadVa(va) => write!(f, "va {va:#x} outside GPU address space"),
+            PgtableError::AlreadyMapped(va) => write!(f, "va {va:#x} already mapped"),
+        }
+    }
+}
+
+impl std::error::Error for PgtableError {}
+
+impl From<MemError> for PgtableError {
+    fn from(e: MemError) -> Self {
+        PgtableError::Mem(e)
+    }
+}
+
+fn check_va(va: u64) -> Result<(), PgtableError> {
+    if va >= VA_SPACE_SIZE || va % PAGE_SIZE as u64 != 0 {
+        Err(PgtableError::BadVa(va))
+    } else {
+        Ok(())
+    }
+}
+
+/// Allocates an empty (zeroed) root (L1) table, returning its PA.
+///
+/// # Errors
+///
+/// Returns [`PgtableError::OutOfFrames`] when allocation fails.
+pub fn alloc_root(mem: &SharedMem, alloc: &mut FrameAllocator) -> Result<u64, PgtableError> {
+    alloc
+        .alloc_zeroed(mem)?
+        .ok_or(PgtableError::OutOfFrames)
+}
+
+/// Maps one 4 KiB page `va → pa` with `flags` under `root_pa`, allocating
+/// the L2 table on demand.
+///
+/// # Errors
+///
+/// Fails on bad VA, exhausted frames, or an existing mapping.
+pub fn map_page(
+    mem: &SharedMem,
+    alloc: &mut FrameAllocator,
+    fmt: PteFormat,
+    root_pa: u64,
+    va: u64,
+    pa: u64,
+    flags: PteFlags,
+) -> Result<(), PgtableError> {
+    check_va(va)?;
+    let l1_idx = (va >> L1_SHIFT) & IDX_MASK;
+    let l1_entry_pa = root_pa + l1_idx * 8;
+    let l1 = mem.read_u64(l1_entry_pa)?;
+    let l2_pa = if l1 & 1 != 0 {
+        l1 & PA_MASK
+    } else {
+        let l2 = alloc
+            .alloc_zeroed(mem)?
+            .ok_or(PgtableError::OutOfFrames)?;
+        mem.write_u64(l1_entry_pa, (l2 & PA_MASK) | 1)?;
+        l2
+    };
+    let l2_idx = (va >> L2_SHIFT) & IDX_MASK;
+    let pte_pa = l2_pa + l2_idx * 8;
+    let existing = mem.read_u64(pte_pa)?;
+    if existing & 1 != 0 {
+        return Err(PgtableError::AlreadyMapped(va));
+    }
+    mem.write_u64(pte_pa, encode_pte(fmt, pa, flags))?;
+    Ok(())
+}
+
+/// Removes the mapping at `va`, returning the PA it pointed to.
+///
+/// # Errors
+///
+/// Fails on bad VA; returns `Ok(None)` when nothing was mapped.
+pub fn unmap_page(
+    mem: &SharedMem,
+    fmt: PteFormat,
+    root_pa: u64,
+    va: u64,
+) -> Result<Option<u64>, PgtableError> {
+    check_va(va)?;
+    let l1_idx = (va >> L1_SHIFT) & IDX_MASK;
+    let l1 = mem.read_u64(root_pa + l1_idx * 8)?;
+    if l1 & 1 == 0 {
+        return Ok(None);
+    }
+    let l2_pa = l1 & PA_MASK;
+    let pte_pa = l2_pa + ((va >> L2_SHIFT) & IDX_MASK) * 8;
+    let pte = mem.read_u64(pte_pa)?;
+    match decode_pte(fmt, pte) {
+        Some((pa, _)) => {
+            mem.write_u64(pte_pa, 0)?;
+            Ok(Some(pa))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Translates `va` (any alignment) to `(pa, flags)` by walking the tables.
+/// Returns `None` for unmapped or invalid addresses.
+pub fn translate(mem: &SharedMem, fmt: PteFormat, root_pa: u64, va: u64) -> Option<(u64, PteFlags)> {
+    if va >= VA_SPACE_SIZE {
+        return None;
+    }
+    let l1_idx = (va >> L1_SHIFT) & IDX_MASK;
+    let l1 = mem.read_u64(root_pa + l1_idx * 8).ok()?;
+    if l1 & 1 == 0 {
+        return None;
+    }
+    let l2_pa = l1 & PA_MASK;
+    let pte = mem.read_u64(l2_pa + ((va >> L2_SHIFT) & IDX_MASK) * 8).ok()?;
+    let (page_pa, flags) = decode_pte(fmt, pte)?;
+    Some((page_pa + (va & (PAGE_SIZE as u64 - 1)), flags))
+}
+
+/// Physical address of the PTE (not the page) that maps `va`, if the L2
+/// table exists — used by fault injection to corrupt entries in place.
+pub fn pte_address(mem: &SharedMem, root_pa: u64, va: u64) -> Option<u64> {
+    if va >= VA_SPACE_SIZE {
+        return None;
+    }
+    let l1 = mem.read_u64(root_pa + ((va >> L1_SHIFT) & IDX_MASK) * 8).ok()?;
+    if l1 & 1 == 0 {
+        return None;
+    }
+    Some((l1 & PA_MASK) + ((va >> L2_SHIFT) & IDX_MASK) * 8)
+}
+
+/// Walks the whole table, invoking `f(va, pa, flags)` for every valid
+/// mapping in VA order — the recorder's view of the GPU address space.
+pub fn walk(mem: &SharedMem, fmt: PteFormat, root_pa: u64, mut f: impl FnMut(u64, u64, PteFlags)) {
+    for l1_idx in 0..512u64 {
+        let Ok(l1) = mem.read_u64(root_pa + l1_idx * 8) else {
+            continue;
+        };
+        if l1 & 1 == 0 {
+            continue;
+        }
+        let l2_pa = l1 & PA_MASK;
+        for l2_idx in 0..512u64 {
+            let Ok(pte) = mem.read_u64(l2_pa + l2_idx * 8) else {
+                continue;
+            };
+            if let Some((pa, flags)) = decode_pte(fmt, pte) {
+                let va = (l1_idx << L1_SHIFT) | (l2_idx << L2_SHIFT);
+                f(va, pa, flags);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_soc::PhysMem;
+
+    fn mk() -> (SharedMem, FrameAllocator) {
+        let mem = SharedMem::new(PhysMem::new(0x8000_0000, 256 * PAGE_SIZE));
+        let alloc = FrameAllocator::new(0x8000_0000, 256);
+        (mem, alloc)
+    }
+
+    #[test]
+    fn map_translate_unmap_roundtrip() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        let data_pa = alloc.alloc().unwrap();
+        let va = 0x0040_0000u64;
+        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, data_pa, PteFlags::rw_cpu()).unwrap();
+        let (pa, flags) = translate(&mem, PteFormat::MaliStandard, root, va + 0x123).unwrap();
+        assert_eq!(pa, data_pa + 0x123);
+        assert!(flags.valid && flags.write && !flags.exec && flags.cpu_mapped);
+        assert_eq!(
+            unmap_page(&mem, PteFormat::MaliStandard, root, va).unwrap(),
+            Some(data_pa)
+        );
+        assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_none());
+        assert_eq!(unmap_page(&mem, PteFormat::MaliStandard, root, va).unwrap(), None);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        let pa = alloc.alloc().unwrap();
+        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0, pa, PteFlags::rw_cpu()).unwrap();
+        assert_eq!(
+            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0, pa, PteFlags::rw_cpu()),
+            Err(PgtableError::AlreadyMapped(0))
+        );
+    }
+
+    #[test]
+    fn bad_va_rejected() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        assert!(matches!(
+            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, VA_SPACE_SIZE, 0, PteFlags::rw_cpu()),
+            Err(PgtableError::BadVa(_))
+        ));
+        assert!(matches!(
+            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0x10, 0, PteFlags::rw_cpu()),
+            Err(PgtableError::BadVa(_)),
+        ), "unaligned va");
+        assert!(translate(&mem, PteFormat::MaliStandard, root, VA_SPACE_SIZE + 5).is_none());
+    }
+
+    #[test]
+    fn lpae_and_standard_bit_layouts_differ() {
+        let f = PteFlags {
+            valid: true,
+            write: true,
+            exec: false,
+            cpu_mapped: false,
+        };
+        let std_bits = encode_flags(PteFormat::MaliStandard, f);
+        let lpae_bits = encode_flags(PteFormat::MaliLpae, f);
+        assert_eq!(std_bits, 0b0011);
+        assert_eq!(lpae_bits, 0b1001);
+        assert_ne!(std_bits, lpae_bits);
+        // Round-trip via decode.
+        assert_eq!(decode_flags(PteFormat::MaliLpae, lpae_bits), f);
+        // Conversion is the §6.4 patch.
+        assert_eq!(convert_flag_bits(PteFormat::MaliLpae, PteFormat::MaliStandard, lpae_bits), std_bits);
+    }
+
+    #[test]
+    fn misdecoding_lpae_as_standard_breaks_permissions() {
+        // This is exactly why an unpatched G31 recording fails on G71: a
+        // read-write data page in LPAE layout decodes as *non-writable* (and
+        // spuriously executable) in the standard layout, so the first GPU
+        // write through it faults. (Binary pages with every bit set happen
+        // to coincide across layouts; data pages are what diverge.)
+        let rw_lpae = encode_flags(PteFormat::MaliLpae, PteFlags::rw_cpu());
+        let wrong = decode_flags(PteFormat::MaliStandard, rw_lpae);
+        assert!(!wrong.write, "write permission must be lost");
+        assert!(wrong.exec, "exec bit spuriously set");
+    }
+
+    #[test]
+    fn walk_enumerates_mappings_in_order() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        let mut pas = Vec::new();
+        for i in [5u64, 1, 3] {
+            let pa = alloc.alloc().unwrap();
+            pas.push((i * PAGE_SIZE as u64, pa));
+            map_page(&mem, &mut alloc, PteFormat::MaliLpae, root, i * PAGE_SIZE as u64, pa, PteFlags::internal()).unwrap();
+        }
+        let mut seen = Vec::new();
+        walk(&mem, PteFormat::MaliLpae, root, |va, pa, fl| {
+            assert!(fl.valid && fl.write && !fl.cpu_mapped);
+            seen.push((va, pa));
+        });
+        pas.sort();
+        assert_eq!(seen, pas);
+    }
+
+    #[test]
+    fn pte_address_allows_in_place_corruption() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        let pa = alloc.alloc().unwrap();
+        let va = 0x0020_0000u64;
+        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, pa, PteFlags::rw_cpu()).unwrap();
+        let pte_pa = pte_address(&mem, root, va).unwrap();
+        mem.write_u64(pte_pa, 0xFFFF_FFFF_FFFF_FFFE).unwrap(); // valid bit clear
+        assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_none());
+        assert_eq!(pte_address(&mem, root, VA_SPACE_SIZE), None);
+    }
+
+    #[test]
+    fn spans_l1_boundaries() {
+        let (mem, mut alloc) = mk();
+        let root = alloc_root(&mem, &mut alloc).unwrap();
+        // Two VAs in different L1 slots.
+        for va in [0u64, 1 << L1_SHIFT] {
+            let pa = alloc.alloc().unwrap();
+            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, pa, PteFlags::rw_cpu()).unwrap();
+            assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_some());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Mali-family register map.
+//!
+//! Offsets are bytes from the GPU MMIO window base. The layout mirrors the
+//! structure of the real Mali Bifrost map the paper instruments: a GPU
+//! control block, an MMU/address-space block, and a job-slot block, each
+//! with RAWSTAT/CLEAR/MASK/STATUS interrupt registers.
+
+/// Size of the Mali MMIO window in bytes.
+pub const MMIO_SIZE: u32 = 0x3000;
+
+// --- GPU control block ---
+/// GPU identity (read-only; drivers probe it, recordings assert it).
+pub const GPU_ID: u32 = 0x0000;
+/// Bit 0: a job is active. Bit 1: reset/flush in progress.
+pub const GPU_STATUS: u32 = 0x0004;
+/// Raw (unmasked) GPU interrupt status.
+pub const GPU_IRQ_RAWSTAT: u32 = 0x0008;
+/// Write-1-to-clear GPU interrupt bits.
+pub const GPU_IRQ_CLEAR: u32 = 0x000C;
+/// GPU interrupt enable mask.
+pub const GPU_IRQ_MASK: u32 = 0x0010;
+/// `RAWSTAT & MASK`.
+pub const GPU_IRQ_STATUS: u32 = 0x0014;
+/// Command register (see `GPU_CMD_*`).
+pub const GPU_COMMAND: u32 = 0x0018;
+/// Last protocol/power fault code (see `GPU_FAULT_*`).
+pub const GPU_FAULTSTATUS: u32 = 0x001C;
+/// Bitmask of physically present shader cores.
+pub const SHADER_PRESENT: u32 = 0x0020;
+/// Bitmask of cores powered and ready.
+pub const SHADER_READY: u32 = 0x0024;
+/// Write: power cores on.
+pub const SHADER_PWRON: u32 = 0x0028;
+/// Write: power cores off.
+pub const SHADER_PWROFF: u32 = 0x002C;
+
+/// GPU_COMMAND: soft reset (preserves nothing; settles after
+/// [`crate::timing::SOFT_RESET_DELAY`]).
+pub const GPU_CMD_SOFT_RESET: u32 = 1;
+/// GPU_COMMAND: hard reset.
+pub const GPU_CMD_HARD_RESET: u32 = 2;
+/// GPU_COMMAND: clean (flush) caches.
+pub const GPU_CMD_CLEAN_CACHES: u32 = 4;
+/// GPU_COMMAND: clean and invalidate caches.
+pub const GPU_CMD_CLEAN_INV_CACHES: u32 = 8;
+
+/// GPU_IRQ bit: reset completed.
+pub const GPU_IRQ_RESET_COMPLETED: u32 = 0x0100;
+/// GPU_IRQ bit: cache clean completed.
+pub const GPU_IRQ_CLEAN_CACHES_COMPLETED: u32 = 0x2_0000;
+
+/// GPU_FAULTSTATUS: no fault.
+pub const GPU_FAULT_NONE: u32 = 0;
+/// GPU_FAULTSTATUS: operation attempted without stable power/clocks.
+pub const GPU_FAULT_POWER: u32 = 1;
+/// GPU_FAULTSTATUS: protocol violation (e.g. START while busy).
+pub const GPU_FAULT_BUSY: u32 = 2;
+
+// --- MMU block ---
+/// Raw MMU interrupt status (bit 0: AS0 fault).
+pub const MMU_IRQ_RAWSTAT: u32 = 0x1000;
+/// Write-1-to-clear MMU interrupt bits.
+pub const MMU_IRQ_CLEAR: u32 = 0x1004;
+/// MMU interrupt enable mask.
+pub const MMU_IRQ_MASK: u32 = 0x1008;
+/// `RAWSTAT & MASK`.
+pub const MMU_IRQ_STATUS: u32 = 0x100C;
+/// Page table base, low half (staged until `AS_CMD_UPDATE`).
+pub const AS0_TRANSTAB_LO: u32 = 0x1010;
+/// Page table base, high half.
+pub const AS0_TRANSTAB_HI: u32 = 0x1014;
+/// Translation config (see `TRANSCFG_*`).
+pub const AS0_TRANSCFG: u32 = 0x1018;
+/// Address-space command (see `AS_CMD_*`).
+pub const AS0_COMMAND: u32 = 0x101C;
+/// Address-space status (0 = idle).
+pub const AS0_STATUS: u32 = 0x1020;
+/// Last MMU fault code.
+pub const AS0_FAULTSTATUS: u32 = 0x1024;
+/// Faulting VA, low half.
+pub const AS0_FAULTADDR_LO: u32 = 0x1028;
+/// Faulting VA, high half.
+pub const AS0_FAULTADDR_HI: u32 = 0x102C;
+
+/// TRANSCFG bit 0: address space enabled.
+pub const TRANSCFG_ENABLE: u32 = 1;
+/// TRANSCFG bit 1: read-allocate caching (G71 requires it set, G31/G52
+/// require it clear — the §6.4 "MMU configuration" patch target).
+pub const TRANSCFG_RD_ALLOC: u32 = 2;
+
+/// AS0_COMMAND: latch staged TRANSTAB/TRANSCFG into the live MMU.
+pub const AS_CMD_UPDATE: u32 = 1;
+/// AS0_COMMAND: TLB flush (modeled as instantaneous).
+pub const AS_CMD_FLUSH: u32 = 2;
+
+/// AS0_FAULTSTATUS: translation fault (unmapped / invalid PTE).
+pub const AS_FAULT_TRANSLATION: u32 = 0xC1;
+/// AS0_FAULTSTATUS: permission fault (exec/write violation).
+pub const AS_FAULT_PERMISSION: u32 = 0xC2;
+/// AS0_FAULTSTATUS: MMU configuration rejected by this SKU.
+pub const AS_FAULT_BAD_CONFIG: u32 = 0xC3;
+
+// --- Job slot block ---
+/// Raw job interrupt status (bit 0: slot 0 done; bit 16: slot 0 failed).
+pub const JOB_IRQ_RAWSTAT: u32 = 0x2000;
+/// Write-1-to-clear job interrupt bits.
+pub const JOB_IRQ_CLEAR: u32 = 0x2004;
+/// Job interrupt enable mask.
+pub const JOB_IRQ_MASK: u32 = 0x2008;
+/// `RAWSTAT & MASK`.
+pub const JOB_IRQ_STATUS: u32 = 0x200C;
+/// Job-chain head VA, low half.
+pub const JS0_HEAD_LO: u32 = 0x2010;
+/// Job-chain head VA, high half.
+pub const JS0_HEAD_HI: u32 = 0x2014;
+/// Shader-core affinity mask for the job (the §6.4 per-job patch target).
+pub const JS0_AFFINITY: u32 = 0x2018;
+/// Job configuration (opaque to the recorder).
+pub const JS0_CONFIG: u32 = 0x201C;
+/// Job command (see `JS_CMD_*`).
+pub const JS0_COMMAND: u32 = 0x2020;
+/// Job status (see `JS_STATUS_*`).
+pub const JS0_STATUS: u32 = 0x2024;
+/// Next-job head VA (async double-buffering), low half.
+pub const JS0_HEAD_NEXT_LO: u32 = 0x2030;
+/// Next-job head VA, high half.
+pub const JS0_HEAD_NEXT_HI: u32 = 0x2034;
+/// Next-job affinity.
+pub const JS0_AFFINITY_NEXT: u32 = 0x2038;
+/// Next-job command (START queues behind the running job).
+pub const JS0_COMMAND_NEXT: u32 = 0x203C;
+
+/// JS command: start the job.
+pub const JS_CMD_START: u32 = 1;
+/// JS command: stop at the next sub-job boundary.
+pub const JS_CMD_SOFT_STOP: u32 = 2;
+/// JS command: stop immediately (preemption path).
+pub const JS_CMD_HARD_STOP: u32 = 3;
+
+/// JS status: slot idle.
+pub const JS_STATUS_IDLE: u32 = 0;
+/// JS status: job running.
+pub const JS_STATUS_ACTIVE: u32 = 1;
+/// JS status: job finished successfully.
+pub const JS_STATUS_COMPLETED: u32 = 2;
+/// JS status: job failed.
+pub const JS_STATUS_FAULT: u32 = 3;
+
+/// JOB_IRQ bit: slot 0 completed.
+pub const JOB_IRQ_DONE0: u32 = 1;
+/// JOB_IRQ bit: slot 0 failed.
+pub const JOB_IRQ_FAIL0: u32 = 1 << 16;
+
+/// IRQ line numbers on the machine's interrupt controller.
+pub mod irq_lines {
+    use gr_soc::IrqLine;
+    /// Job completion/failure interrupts.
+    pub const JOB: IrqLine = IrqLine(0);
+    /// MMU fault interrupts.
+    pub const MMU: IrqLine = IrqLine(1);
+    /// GPU control interrupts (reset, cache flush).
+    pub const GPU: IrqLine = IrqLine(2);
+}
+
+/// All architecturally-defined register offsets (the replayer's verifier
+/// whitelist: a recording touching anything else is rejected).
+pub const KNOWN_REGS: [u32; 35] = [
+    GPU_ID, GPU_STATUS, GPU_IRQ_RAWSTAT, GPU_IRQ_CLEAR, GPU_IRQ_MASK, GPU_IRQ_STATUS,
+    GPU_COMMAND, GPU_FAULTSTATUS, SHADER_PRESENT, SHADER_READY, SHADER_PWRON, SHADER_PWROFF,
+    MMU_IRQ_RAWSTAT, MMU_IRQ_CLEAR, MMU_IRQ_MASK, MMU_IRQ_STATUS,
+    AS0_TRANSTAB_LO, AS0_TRANSTAB_HI, AS0_TRANSCFG, AS0_COMMAND, AS0_STATUS,
+    AS0_FAULTSTATUS, AS0_FAULTADDR_LO, AS0_FAULTADDR_HI,
+    JOB_IRQ_RAWSTAT, JOB_IRQ_CLEAR, JOB_IRQ_MASK, JOB_IRQ_STATUS,
+    JS0_HEAD_LO, JS0_HEAD_HI, JS0_AFFINITY, JS0_CONFIG, JS0_COMMAND, JS0_STATUS,
+    JS0_HEAD_NEXT_LO,
+];
+
+/// `true` when `off` names an architecturally-defined Mali register.
+pub fn is_known_reg(off: u32) -> bool {
+    KNOWN_REGS.contains(&off)
+        || matches!(off, JS0_HEAD_NEXT_HI | JS0_AFFINITY_NEXT | JS0_COMMAND_NEXT)
+}
+
+/// Human-readable register name for diagnostics and replay error reports.
+pub fn reg_name(off: u32) -> &'static str {
+    match off {
+        GPU_ID => "GPU_ID",
+        GPU_STATUS => "GPU_STATUS",
+        GPU_IRQ_RAWSTAT => "GPU_IRQ_RAWSTAT",
+        GPU_IRQ_CLEAR => "GPU_IRQ_CLEAR",
+        GPU_IRQ_MASK => "GPU_IRQ_MASK",
+        GPU_IRQ_STATUS => "GPU_IRQ_STATUS",
+        GPU_COMMAND => "GPU_COMMAND",
+        GPU_FAULTSTATUS => "GPU_FAULTSTATUS",
+        SHADER_PRESENT => "SHADER_PRESENT",
+        SHADER_READY => "SHADER_READY",
+        SHADER_PWRON => "SHADER_PWRON",
+        SHADER_PWROFF => "SHADER_PWROFF",
+        MMU_IRQ_RAWSTAT => "MMU_IRQ_RAWSTAT",
+        MMU_IRQ_CLEAR => "MMU_IRQ_CLEAR",
+        MMU_IRQ_MASK => "MMU_IRQ_MASK",
+        MMU_IRQ_STATUS => "MMU_IRQ_STATUS",
+        AS0_TRANSTAB_LO => "AS0_TRANSTAB_LO",
+        AS0_TRANSTAB_HI => "AS0_TRANSTAB_HI",
+        AS0_TRANSCFG => "AS0_TRANSCFG",
+        AS0_COMMAND => "AS0_COMMAND",
+        AS0_STATUS => "AS0_STATUS",
+        AS0_FAULTSTATUS => "AS0_FAULTSTATUS",
+        AS0_FAULTADDR_LO => "AS0_FAULTADDR_LO",
+        AS0_FAULTADDR_HI => "AS0_FAULTADDR_HI",
+        JOB_IRQ_RAWSTAT => "JOB_IRQ_RAWSTAT",
+        JOB_IRQ_CLEAR => "JOB_IRQ_CLEAR",
+        JOB_IRQ_MASK => "JOB_IRQ_MASK",
+        JOB_IRQ_STATUS => "JOB_IRQ_STATUS",
+        JS0_HEAD_LO => "JS0_HEAD_LO",
+        JS0_HEAD_HI => "JS0_HEAD_HI",
+        JS0_AFFINITY => "JS0_AFFINITY",
+        JS0_CONFIG => "JS0_CONFIG",
+        JS0_COMMAND => "JS0_COMMAND",
+        JS0_STATUS => "JS0_STATUS",
+        JS0_HEAD_NEXT_LO => "JS0_HEAD_NEXT_LO",
+        JS0_HEAD_NEXT_HI => "JS0_HEAD_NEXT_HI",
+        JS0_AFFINITY_NEXT => "JS0_AFFINITY_NEXT",
+        JS0_COMMAND_NEXT => "JS0_COMMAND_NEXT",
+        _ => "UNKNOWN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_regs_have_names() {
+        for &r in &KNOWN_REGS {
+            assert_ne!(reg_name(r), "UNKNOWN", "reg {r:#x}");
+            assert!(is_known_reg(r));
+        }
+        assert!(is_known_reg(JS0_COMMAND_NEXT));
+        assert!(!is_known_reg(0x2FF0));
+        assert_eq!(reg_name(0x2FF0), "UNKNOWN");
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        for &r in &KNOWN_REGS {
+            assert!(r < MMIO_SIZE);
+            assert_eq!(r % 4, 0, "registers are word aligned");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The GPU SKU catalog.
+//!
+//! The paper records/replays across Arm Mali G31 (low end, 1 shader core),
+//! G52 (mainstream, 2 cores), G71 (high end, 8 cores) and Broadcom v3d
+//! (Raspberry Pi 4). We model the same line-up. SKUs of the same family
+//! share register maps and job formats but differ in core counts, IDs,
+//! page-table flag layouts (G31/G52 use an LPAE-style bit order), and MMU
+//! configuration expectations (G71 wants read-allocate caching enabled) —
+//! the exact differences §6.4's cross-SKU patching has to bridge.
+
+/// GPU family: selects register map, submission protocol, and dump policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuFamilyKind {
+    /// Mali-like: job-chain submission, exec-bit page tables, 3 IRQ lines.
+    Mali,
+    /// v3d-like: control-list submission, flat no-exec-bit page table,
+    /// 1 IRQ line.
+    V3d,
+}
+
+impl std::fmt::Display for GpuFamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuFamilyKind::Mali => write!(f, "mali"),
+            GpuFamilyKind::V3d => write!(f, "v3d"),
+        }
+    }
+}
+
+/// Page-table entry encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PteFormat {
+    /// G71-style: VALID=bit0, WRITE=bit1, EXEC=bit2, CPU_MAPPED=bit3.
+    MaliStandard,
+    /// G31/G52 LPAE-style: VALID=bit0, EXEC=bit1, CPU_MAPPED=bit2,
+    /// WRITE=bit3 (permission bits in a different order — §6.4).
+    MaliLpae,
+    /// v3d flat table: 32-bit PTEs, VALID=bit0, WRITE=bit1, no exec bit.
+    V3dFlat,
+}
+
+/// Static description of one GPU SKU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSku {
+    /// Marketing name ("G71").
+    pub name: &'static str,
+    /// Family the SKU belongs to.
+    pub family: GpuFamilyKind,
+    /// Value of the ID register (distinct per SKU; drivers probe it).
+    pub gpu_id: u32,
+    /// Shader core count (affects job duration and the affinity patch).
+    pub cores: u32,
+    /// Nominal core clock in MHz; the PMC may run the GPU slower.
+    pub nominal_mhz: u32,
+    /// Per-core throughput in GFLOP/s at nominal clock.
+    pub gflops_per_core: f64,
+    /// Shared-DRAM bandwidth the GPU sees, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Page-table entry encoding.
+    pub pte_format: PteFormat,
+    /// Whether the MMU requires the read-allocate bit in `TRANSCFG`
+    /// (G71 expects it set; G31/G52 expect it clear).
+    pub requires_rd_alloc: bool,
+}
+
+/// Arm Mali G71 (Hikey960): 8 cores, the paper's main record+replay target.
+pub const MALI_G71: GpuSku = GpuSku {
+    name: "G71",
+    family: GpuFamilyKind::Mali,
+    gpu_id: 0x6956_0010,
+    cores: 8,
+    nominal_mhz: 600,
+    gflops_per_core: 30.0,
+    mem_bw_gbps: 14.9,
+    pte_format: PteFormat::MaliStandard,
+    requires_rd_alloc: true,
+};
+
+/// Arm Mali G52 (Odroid N2): 2 cores, mainstream.
+pub const MALI_G52: GpuSku = GpuSku {
+    name: "G52",
+    family: GpuFamilyKind::Mali,
+    gpu_id: 0x7212_0020,
+    cores: 2,
+    nominal_mhz: 650,
+    gflops_per_core: 40.8,
+    mem_bw_gbps: 8.5,
+    pte_format: PteFormat::MaliLpae,
+    requires_rd_alloc: false,
+};
+
+/// Arm Mali G31 (Odroid C4): 1 core, low end.
+pub const MALI_G31: GpuSku = GpuSku {
+    name: "G31",
+    family: GpuFamilyKind::Mali,
+    gpu_id: 0x7093_0030,
+    cores: 1,
+    nominal_mhz: 650,
+    gflops_per_core: 20.8,
+    mem_bw_gbps: 6.4,
+    pte_format: PteFormat::MaliLpae,
+    requires_rd_alloc: false,
+};
+
+/// Broadcom v3d (Raspberry Pi 4).
+pub const V3D_RPI4: GpuSku = GpuSku {
+    name: "v3d",
+    family: GpuFamilyKind::V3d,
+    gpu_id: 0x0042_7634,
+    cores: 1,
+    nominal_mhz: 500,
+    gflops_per_core: 32.0,
+    mem_bw_gbps: 6.0,
+    pte_format: PteFormat::V3dFlat,
+    requires_rd_alloc: false,
+};
+
+/// All modeled SKUs.
+pub const ALL_SKUS: [&GpuSku; 4] = [&MALI_G71, &MALI_G52, &MALI_G31, &V3D_RPI4];
+
+/// Looks up a SKU by its ID register value.
+pub fn sku_by_id(gpu_id: u32) -> Option<&'static GpuSku> {
+    ALL_SKUS.iter().copied().find(|s| s.gpu_id == gpu_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sku_ids_are_unique() {
+        for (i, a) in ALL_SKUS.iter().enumerate() {
+            for b in &ALL_SKUS[i + 1..] {
+                assert_ne!(a.gpu_id, b.gpu_id, "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(sku_by_id(MALI_G71.gpu_id).unwrap().name, "G71");
+        assert_eq!(sku_by_id(0xDEAD_BEEF), None);
+    }
+
+    #[test]
+    fn paper_core_counts() {
+        assert_eq!(MALI_G71.cores, 8);
+        assert_eq!(MALI_G52.cores, 2);
+        assert_eq!(MALI_G31.cores, 1);
+    }
+
+    #[test]
+    fn lpae_family_layout_matches_paper() {
+        // G31/G52 share the LPAE-style layout, G71 the standard one: this is
+        // the asymmetry the §6.4 patch bridges.
+        assert_eq!(MALI_G31.pte_format, PteFormat::MaliLpae);
+        assert_eq!(MALI_G52.pte_format, PteFormat::MaliLpae);
+        assert_eq!(MALI_G71.pte_format, PteFormat::MaliStandard);
+        assert!(MALI_G71.requires_rd_alloc);
+        assert!(!MALI_G31.requires_rd_alloc);
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(GpuFamilyKind::Mali.to_string(), "mali");
+        assert_eq!(GpuFamilyKind::V3d.to_string(), "v3d");
+    }
+}

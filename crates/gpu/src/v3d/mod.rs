@@ -1,0 +1,9 @@
+//! The v3d-like GPU family: control-list submission, flat page table with
+//! no executable bit, single interrupt line, depth-1 queue.
+
+pub mod cl;
+pub mod device;
+pub mod pgtable;
+pub mod regs;
+
+pub use device::V3dGpu;

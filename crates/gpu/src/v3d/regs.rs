@@ -1,0 +1,120 @@
+//! v3d-family register map.
+//!
+//! Broadcom-style: a single interrupt line, control-list submission via
+//! CT0CA/CT0EA (writing the end address kicks the list), a flat MMU page
+//! table, and a cache-clean register the driver polls — the protocol shape
+//! of drm/v3d that the paper's second recorder targets.
+
+/// Size of the v3d MMIO window in bytes.
+pub const MMIO_SIZE: u32 = 0x100;
+
+/// Device identity.
+pub const IDENT: u32 = 0x000;
+/// Raw interrupt status (see `INT_*`).
+pub const INT_STS: u32 = 0x004;
+/// Write-1-to-clear interrupt bits.
+pub const INT_CLR: u32 = 0x008;
+/// Interrupt enable mask.
+pub const INT_MSK: u32 = 0x00C;
+/// Control-list current address, low half.
+pub const CT0CA_LO: u32 = 0x010;
+/// Control-list current address, high half.
+pub const CT0CA_HI: u32 = 0x014;
+/// Control-list end address, low half — writing this register submits.
+pub const CT0EA_LO: u32 = 0x018;
+/// Control-list end address, high half.
+pub const CT0EA_HI: u32 = 0x01C;
+/// Control-thread status (bit 0 busy, bit 1 resetting, bit 5 error).
+pub const CT0CS: u32 = 0x020;
+/// Flat page-table base, low half.
+pub const MMU_PT_BASE_LO: u32 = 0x028;
+/// Flat page-table base, high half.
+pub const MMU_PT_BASE_HI: u32 = 0x02C;
+/// MMU control (bit 0 enable).
+pub const MMU_CTRL: u32 = 0x030;
+/// Faulting VA of the last MMU fault.
+pub const MMU_ADDR: u32 = 0x034;
+/// Error detail for CT0CS error bit (see `ERR_*`).
+pub const ERR_STAT: u32 = 0x038;
+/// Write 1: soft reset (poll CT0CS bit 1 until clear).
+pub const CTL_RESET: u32 = 0x03C;
+/// Write 1: start cache clean; read bit 0: clean in progress (polled).
+pub const CACHE_CLEAN: u32 = 0x040;
+
+/// INT_STS bit: control list completed.
+pub const INT_DONE: u32 = 1;
+/// INT_STS bit: MMU fault.
+pub const INT_MMU_FAULT: u32 = 2;
+
+/// CT0CS bit: list executing.
+pub const CS_BUSY: u32 = 1;
+/// CT0CS bit: reset in progress.
+pub const CS_RESETTING: u32 = 2;
+/// CT0CS bit: error (see [`ERR_STAT`]).
+pub const CS_ERROR: u32 = 1 << 5;
+
+/// ERR_STAT: no error.
+pub const ERR_NONE: u32 = 0;
+/// ERR_STAT: submit while busy (v3d queues are depth 1).
+pub const ERR_BUSY: u32 = 1;
+/// ERR_STAT: malformed control list.
+pub const ERR_BAD_CL: u32 = 2;
+/// ERR_STAT: operation without stable power.
+pub const ERR_POWER: u32 = 3;
+
+/// The single v3d interrupt line.
+pub mod irq_lines {
+    use gr_soc::IrqLine;
+    /// All v3d interrupts share one line.
+    pub const V3D: IrqLine = IrqLine(0);
+}
+
+/// All architecturally-defined register offsets (verifier whitelist).
+pub const KNOWN_REGS: [u32; 16] = [
+    IDENT, INT_STS, INT_CLR, INT_MSK, CT0CA_LO, CT0CA_HI, CT0EA_LO, CT0EA_HI, CT0CS,
+    MMU_PT_BASE_LO, MMU_PT_BASE_HI, MMU_CTRL, MMU_ADDR, ERR_STAT, CTL_RESET, CACHE_CLEAN,
+];
+
+/// `true` when `off` names an architecturally-defined v3d register.
+pub fn is_known_reg(off: u32) -> bool {
+    KNOWN_REGS.contains(&off)
+}
+
+/// Human-readable register name for diagnostics.
+pub fn reg_name(off: u32) -> &'static str {
+    match off {
+        IDENT => "IDENT",
+        INT_STS => "INT_STS",
+        INT_CLR => "INT_CLR",
+        INT_MSK => "INT_MSK",
+        CT0CA_LO => "CT0CA_LO",
+        CT0CA_HI => "CT0CA_HI",
+        CT0EA_LO => "CT0EA_LO",
+        CT0EA_HI => "CT0EA_HI",
+        CT0CS => "CT0CS",
+        MMU_PT_BASE_LO => "MMU_PT_BASE_LO",
+        MMU_PT_BASE_HI => "MMU_PT_BASE_HI",
+        MMU_CTRL => "MMU_CTRL",
+        MMU_ADDR => "MMU_ADDR",
+        ERR_STAT => "ERR_STAT",
+        CTL_RESET => "CTL_RESET",
+        CACHE_CLEAN => "CACHE_CLEAN",
+        _ => "UNKNOWN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_regs_have_names() {
+        for &r in &KNOWN_REGS {
+            assert_ne!(reg_name(r), "UNKNOWN");
+            assert!(is_known_reg(r));
+            assert!(r < MMIO_SIZE);
+            assert_eq!(r % 4, 0);
+        }
+        assert!(!is_known_reg(0xF0));
+    }
+}

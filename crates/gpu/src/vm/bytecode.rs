@@ -1,0 +1,1087 @@
+//! Shader blob encoding.
+//!
+//! A shader blob is a little-endian serialization of one [`KernelOp`]. All
+//! buffer references are GPU *virtual* addresses — the blobs are deeply
+//! linked against the GPU VA space, which is why GPUReplay must restore
+//! memory dumps at their original virtual addresses (§4.3).
+
+use std::fmt;
+
+/// Activation fused into (or applied by) a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ActKind {
+    /// Identity.
+    None = 0,
+    /// max(0, x)
+    Relu = 1,
+    /// min(max(0, x), 6)
+    Relu6 = 2,
+    /// x > 0 ? x : 0.1x (YOLO-style)
+    LeakyRelu = 3,
+    /// Logistic.
+    Sigmoid = 4,
+    /// Hyperbolic tangent.
+    Tanh = 5,
+}
+
+impl ActKind {
+    /// Decodes from the wire tag.
+    pub fn from_u32(v: u32) -> Option<ActKind> {
+        Some(match v {
+            0 => ActKind::None,
+            1 => ActKind::Relu,
+            2 => ActKind::Relu6,
+            3 => ActKind::LeakyRelu,
+            4 => ActKind::Sigmoid,
+            5 => ActKind::Tanh,
+            _ => return None,
+        })
+    }
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum PoolKind {
+    /// Window maximum.
+    Max = 0,
+    /// Window average.
+    Avg = 1,
+}
+
+impl PoolKind {
+    /// Decodes from the wire tag.
+    pub fn from_u32(v: u32) -> Option<PoolKind> {
+        match v {
+            0 => Some(PoolKind::Max),
+            1 => Some(PoolKind::Avg),
+            _ => None,
+        }
+    }
+}
+
+/// One GPU compute kernel, as encoded in a shader blob.
+///
+/// Tensors are dense f32, NCHW with batch folded into rows where relevant.
+/// Fields named `*_va` are GPU virtual addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOp {
+    /// `out[0..n] = value`
+    Fill {
+        /// Output VA.
+        out: u64,
+        /// Element count.
+        n: u32,
+        /// Fill value.
+        value: f32,
+    },
+    /// Raw byte move of `len` bytes.
+    CopyBytes {
+        /// Source VA.
+        src: u64,
+        /// Destination VA.
+        dst: u64,
+        /// Byte count.
+        len: u32,
+    },
+    /// `out = a + b` elementwise, then `act`.
+    EltwiseAdd {
+        /// Left input VA.
+        a: u64,
+        /// Right input VA.
+        b: u64,
+        /// Output VA.
+        out: u64,
+        /// Element count.
+        n: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// `out = alpha * a`
+    Scale {
+        /// Input VA.
+        a: u64,
+        /// Output VA.
+        out: u64,
+        /// Element count.
+        n: u32,
+        /// Scale factor.
+        alpha: f32,
+    },
+    /// Plain GEMM: `out[m×n] = a[m×k] · b[k×n]`.
+    MatMul {
+        /// Left matrix VA.
+        a: u64,
+        /// Right matrix VA.
+        b: u64,
+        /// Output VA.
+        out: u64,
+        /// Rows of `a`.
+        m: u32,
+        /// Inner dimension.
+        k: u32,
+        /// Columns of `b`.
+        n: u32,
+    },
+    /// Fully connected with optional bias and fused activation:
+    /// `out[m×n] = act(x[m×k] · w[k×n] + bias[n])`.
+    FullyConnected {
+        /// Input VA.
+        x: u64,
+        /// Weight VA.
+        w: u64,
+        /// Bias VA (0 = no bias).
+        bias: u64,
+        /// Output VA.
+        out: u64,
+        /// Batch rows.
+        m: u32,
+        /// Input features.
+        k: u32,
+        /// Output features.
+        n: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// Grouped 2-D convolution (groups == cin gives depthwise), NCHW,
+    /// square stride/pad, fused bias + activation.
+    Conv2d {
+        /// Input VA (`cin×h×w`).
+        x: u64,
+        /// Weights VA (`cout×(cin/groups)×kh×kw`).
+        w: u64,
+        /// Bias VA (0 = none, else `cout`).
+        bias: u64,
+        /// Output VA (`cout×ho×wo`).
+        out: u64,
+        /// Input channels.
+        cin: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Output channels.
+        cout: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Stride (both axes).
+        stride: u32,
+        /// Zero padding (both axes).
+        pad: u32,
+        /// Group count.
+        groups: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// 2-D pooling, NCHW, square window/stride, no padding.
+    Pool2d {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Window edge.
+        win: u32,
+        /// Stride.
+        stride: u32,
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Standalone activation.
+    Activation {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Element count.
+        n: u32,
+        /// Which activation.
+        act: ActKind,
+    },
+    /// Row-wise softmax over a `rows×cols` matrix.
+    Softmax {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// Channel concatenation of two flattened blocks.
+    Concat2 {
+        /// First block VA.
+        a: u64,
+        /// First block element count.
+        na: u32,
+        /// Second block VA.
+        b: u64,
+        /// Second block element count.
+        nb: u32,
+        /// Output VA (`na+nb` elements).
+        out: u64,
+    },
+    /// Nearest-neighbour 2× upsample, NCHW.
+    Upsample2x {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+    },
+    /// Inference-time batch-norm as per-channel scale/shift:
+    /// `out[c,i] = x[c,i] * scale[c] + shift[c]`.
+    BatchNormInf {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Per-channel scale VA.
+        scale: u64,
+        /// Per-channel shift VA.
+        shift: u64,
+        /// Channels.
+        c: u32,
+        /// Spatial size per channel.
+        hw: u32,
+    },
+    /// ACL-style im2col: unfolds convolution patches into a
+    /// `(ho*wo) × (cin*kh*kw)` matrix.
+    Im2Col {
+        /// Input VA.
+        x: u64,
+        /// Output VA.
+        out: u64,
+        /// Input channels.
+        cin: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+    },
+    /// Softmax + cross-entropy backward: `dx = (probs - onehot(labels))/rows`.
+    SoftmaxXentGrad {
+        /// Probabilities VA (`rows×cols`).
+        probs: u64,
+        /// Labels VA (`rows` f32-encoded class ids).
+        labels: u64,
+        /// Gradient output VA.
+        dx: u64,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// GEMM weight gradient: `dw[k×n] = xᵀ[k×m] · dy[m×n]`.
+    MatMulGradW {
+        /// Forward input VA.
+        x: u64,
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Weight gradient VA.
+        dw: u64,
+        /// Batch rows.
+        m: u32,
+        /// Input features.
+        k: u32,
+        /// Output features.
+        n: u32,
+    },
+    /// GEMM input gradient: `dx[m×k] = dy[m×n] · wᵀ[n×k]`.
+    MatMulGradX {
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Weights VA.
+        w: u64,
+        /// Input gradient VA.
+        dx: u64,
+        /// Batch rows.
+        m: u32,
+        /// Input features.
+        k: u32,
+        /// Output features.
+        n: u32,
+    },
+    /// ReLU backward: `dx = x > 0 ? dy : 0`.
+    ReluGrad {
+        /// Forward input VA.
+        x: u64,
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Input gradient VA.
+        dx: u64,
+        /// Element count.
+        n: u32,
+    },
+    /// Bias gradient: column sums of `dy[m×n]` into `db[n]`.
+    BiasGradReduce {
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Bias gradient VA.
+        db: u64,
+        /// Rows.
+        m: u32,
+        /// Columns.
+        n: u32,
+    },
+    /// SGD update: `w -= lr * g`.
+    SgdStep {
+        /// Weights VA (updated in place).
+        w: u64,
+        /// Gradient VA.
+        g: u64,
+        /// Element count.
+        n: u32,
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Convolution weight gradient (stride/pad as forward).
+    Conv2dGradW {
+        /// Forward input VA.
+        x: u64,
+        /// Upstream gradient VA (`cout×ho×wo`).
+        dy: u64,
+        /// Weight gradient VA.
+        dw: u64,
+        /// Input channels.
+        cin: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Output channels.
+        cout: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+    },
+    /// Convolution input gradient.
+    Conv2dGradX {
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Weights VA.
+        w: u64,
+        /// Input gradient VA.
+        dx: u64,
+        /// Input channels.
+        cin: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Output channels.
+        cout: u32,
+        /// Kernel height.
+        kh: u32,
+        /// Kernel width.
+        kw: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+    },
+    /// Max-pool backward (routes gradient to window argmax; avg splits
+    /// evenly).
+    PoolGrad {
+        /// Forward input VA.
+        x: u64,
+        /// Upstream gradient VA.
+        dy: u64,
+        /// Input gradient VA.
+        dx: u64,
+        /// Channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        wd: u32,
+        /// Window edge.
+        win: u32,
+        /// Stride.
+        stride: u32,
+        /// Pool kind.
+        kind: PoolKind,
+    },
+}
+
+/// Error decoding a shader blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Blob ended mid-field.
+    Truncated,
+    /// Unknown opcode tag.
+    BadOpcode(u32),
+    /// Unknown enum tag inside an op.
+    BadEnum(u32),
+    /// Trailing bytes after a complete op.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "shader blob truncated"),
+            DecodeError::BadOpcode(t) => write!(f, "unknown shader opcode {t:#x}"),
+            DecodeError::BadEnum(t) => write!(f, "unknown enum tag {t:#x}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes in shader blob"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u32) -> Self {
+        let mut w = Writer { buf: Vec::with_capacity(64) };
+        w.u32(tag);
+        w
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let v = u32::from_le_bytes(self.buf[self.pos..end].try_into().expect("len checked"));
+        self.pos = end;
+        Ok(v)
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("len checked"));
+        self.pos = end;
+        Ok(v)
+    }
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn act(&mut self) -> Result<ActKind, DecodeError> {
+        let t = self.u32()?;
+        ActKind::from_u32(t).ok_or(DecodeError::BadEnum(t))
+    }
+    fn pool(&mut self) -> Result<PoolKind, DecodeError> {
+        let t = self.u32()?;
+        PoolKind::from_u32(t).ok_or(DecodeError::BadEnum(t))
+    }
+}
+
+const OP_FILL: u32 = 0x01;
+const OP_COPY: u32 = 0x02;
+const OP_ELTADD: u32 = 0x03;
+const OP_SCALE: u32 = 0x04;
+const OP_MATMUL: u32 = 0x05;
+const OP_FC: u32 = 0x06;
+const OP_CONV2D: u32 = 0x07;
+const OP_POOL2D: u32 = 0x08;
+const OP_ACT: u32 = 0x09;
+const OP_SOFTMAX: u32 = 0x0A;
+const OP_CONCAT2: u32 = 0x0B;
+const OP_UPSAMPLE: u32 = 0x0C;
+const OP_BNORM: u32 = 0x0D;
+const OP_IM2COL: u32 = 0x0E;
+const OP_SMXENTG: u32 = 0x10;
+const OP_MMGRADW: u32 = 0x11;
+const OP_MMGRADX: u32 = 0x12;
+const OP_RELUGRAD: u32 = 0x13;
+const OP_BIASGRAD: u32 = 0x14;
+const OP_SGD: u32 = 0x15;
+const OP_CONVGRADW: u32 = 0x16;
+const OP_CONVGRADX: u32 = 0x17;
+const OP_POOLGRAD: u32 = 0x18;
+
+impl KernelOp {
+    /// Serializes the op into a shader blob.
+    pub fn encode(&self) -> Vec<u8> {
+        use KernelOp::*;
+        let w = match self {
+            Fill { out, n, value } => {
+                let mut w = Writer::new(OP_FILL);
+                w.u64(*out);
+                w.u32(*n);
+                w.f32(*value);
+                w
+            }
+            CopyBytes { src, dst, len } => {
+                let mut w = Writer::new(OP_COPY);
+                w.u64(*src);
+                w.u64(*dst);
+                w.u32(*len);
+                w
+            }
+            EltwiseAdd { a, b, out, n, act } => {
+                let mut w = Writer::new(OP_ELTADD);
+                w.u64(*a);
+                w.u64(*b);
+                w.u64(*out);
+                w.u32(*n);
+                w.u32(*act as u32);
+                w
+            }
+            Scale { a, out, n, alpha } => {
+                let mut w = Writer::new(OP_SCALE);
+                w.u64(*a);
+                w.u64(*out);
+                w.u32(*n);
+                w.f32(*alpha);
+                w
+            }
+            MatMul { a, b, out, m, k, n } => {
+                let mut w = Writer::new(OP_MATMUL);
+                w.u64(*a);
+                w.u64(*b);
+                w.u64(*out);
+                w.u32(*m);
+                w.u32(*k);
+                w.u32(*n);
+                w
+            }
+            FullyConnected { x, w: wt, bias, out, m, k, n, act } => {
+                let mut w = Writer::new(OP_FC);
+                w.u64(*x);
+                w.u64(*wt);
+                w.u64(*bias);
+                w.u64(*out);
+                w.u32(*m);
+                w.u32(*k);
+                w.u32(*n);
+                w.u32(*act as u32);
+                w
+            }
+            Conv2d { x, w: wt, bias, out, cin, h, wd, cout, kh, kw, stride, pad, groups, act } => {
+                let mut w = Writer::new(OP_CONV2D);
+                w.u64(*x);
+                w.u64(*wt);
+                w.u64(*bias);
+                w.u64(*out);
+                for v in [cin, h, wd, cout, kh, kw, stride, pad, groups] {
+                    w.u32(*v);
+                }
+                w.u32(*act as u32);
+                w
+            }
+            Pool2d { x, out, c, h, wd, win, stride, kind } => {
+                let mut w = Writer::new(OP_POOL2D);
+                w.u64(*x);
+                w.u64(*out);
+                for v in [c, h, wd, win, stride] {
+                    w.u32(*v);
+                }
+                w.u32(*kind as u32);
+                w
+            }
+            Activation { x, out, n, act } => {
+                let mut w = Writer::new(OP_ACT);
+                w.u64(*x);
+                w.u64(*out);
+                w.u32(*n);
+                w.u32(*act as u32);
+                w
+            }
+            Softmax { x, out, rows, cols } => {
+                let mut w = Writer::new(OP_SOFTMAX);
+                w.u64(*x);
+                w.u64(*out);
+                w.u32(*rows);
+                w.u32(*cols);
+                w
+            }
+            Concat2 { a, na, b, nb, out } => {
+                let mut w = Writer::new(OP_CONCAT2);
+                w.u64(*a);
+                w.u32(*na);
+                w.u64(*b);
+                w.u32(*nb);
+                w.u64(*out);
+                w
+            }
+            Upsample2x { x, out, c, h, wd } => {
+                let mut w = Writer::new(OP_UPSAMPLE);
+                w.u64(*x);
+                w.u64(*out);
+                w.u32(*c);
+                w.u32(*h);
+                w.u32(*wd);
+                w
+            }
+            BatchNormInf { x, out, scale, shift, c, hw } => {
+                let mut w = Writer::new(OP_BNORM);
+                w.u64(*x);
+                w.u64(*out);
+                w.u64(*scale);
+                w.u64(*shift);
+                w.u32(*c);
+                w.u32(*hw);
+                w
+            }
+            Im2Col { x, out, cin, h, wd, kh, kw, stride, pad } => {
+                let mut w = Writer::new(OP_IM2COL);
+                w.u64(*x);
+                w.u64(*out);
+                for v in [cin, h, wd, kh, kw, stride, pad] {
+                    w.u32(*v);
+                }
+                w
+            }
+            SoftmaxXentGrad { probs, labels, dx, rows, cols } => {
+                let mut w = Writer::new(OP_SMXENTG);
+                w.u64(*probs);
+                w.u64(*labels);
+                w.u64(*dx);
+                w.u32(*rows);
+                w.u32(*cols);
+                w
+            }
+            MatMulGradW { x, dy, dw, m, k, n } => {
+                let mut w = Writer::new(OP_MMGRADW);
+                w.u64(*x);
+                w.u64(*dy);
+                w.u64(*dw);
+                w.u32(*m);
+                w.u32(*k);
+                w.u32(*n);
+                w
+            }
+            MatMulGradX { dy, w: wt, dx, m, k, n } => {
+                let mut w = Writer::new(OP_MMGRADX);
+                w.u64(*dy);
+                w.u64(*wt);
+                w.u64(*dx);
+                w.u32(*m);
+                w.u32(*k);
+                w.u32(*n);
+                w
+            }
+            ReluGrad { x, dy, dx, n } => {
+                let mut w = Writer::new(OP_RELUGRAD);
+                w.u64(*x);
+                w.u64(*dy);
+                w.u64(*dx);
+                w.u32(*n);
+                w
+            }
+            BiasGradReduce { dy, db, m, n } => {
+                let mut w = Writer::new(OP_BIASGRAD);
+                w.u64(*dy);
+                w.u64(*db);
+                w.u32(*m);
+                w.u32(*n);
+                w
+            }
+            SgdStep { w: wt, g, n, lr } => {
+                let mut w = Writer::new(OP_SGD);
+                w.u64(*wt);
+                w.u64(*g);
+                w.u32(*n);
+                w.f32(*lr);
+                w
+            }
+            Conv2dGradW { x, dy, dw, cin, h, wd, cout, kh, kw, stride, pad } => {
+                let mut w = Writer::new(OP_CONVGRADW);
+                w.u64(*x);
+                w.u64(*dy);
+                w.u64(*dw);
+                for v in [cin, h, wd, cout, kh, kw, stride, pad] {
+                    w.u32(*v);
+                }
+                w
+            }
+            Conv2dGradX { dy, w: wt, dx, cin, h, wd, cout, kh, kw, stride, pad } => {
+                let mut w = Writer::new(OP_CONVGRADX);
+                w.u64(*dy);
+                w.u64(*wt);
+                w.u64(*dx);
+                for v in [cin, h, wd, cout, kh, kw, stride, pad] {
+                    w.u32(*v);
+                }
+                w
+            }
+            PoolGrad { x, dy, dx, c, h, wd, win, stride, kind } => {
+                let mut w = Writer::new(OP_POOLGRAD);
+                w.u64(*x);
+                w.u64(*dy);
+                w.u64(*dx);
+                for v in [c, h, wd, win, stride] {
+                    w.u32(*v);
+                }
+                w.u32(*kind as u32);
+                w
+            }
+        };
+        w.buf
+    }
+
+    /// Decodes a shader blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for truncated blobs, unknown opcodes/enums,
+    /// or trailing bytes.
+    pub fn decode(blob: &[u8]) -> Result<KernelOp, DecodeError> {
+        let mut r = Reader { buf: blob, pos: 0 };
+        let tag = r.u32()?;
+        let op = match tag {
+            OP_FILL => KernelOp::Fill {
+                out: r.u64()?,
+                n: r.u32()?,
+                value: r.f32()?,
+            },
+            OP_COPY => KernelOp::CopyBytes {
+                src: r.u64()?,
+                dst: r.u64()?,
+                len: r.u32()?,
+            },
+            OP_ELTADD => KernelOp::EltwiseAdd {
+                a: r.u64()?,
+                b: r.u64()?,
+                out: r.u64()?,
+                n: r.u32()?,
+                act: r.act()?,
+            },
+            OP_SCALE => KernelOp::Scale {
+                a: r.u64()?,
+                out: r.u64()?,
+                n: r.u32()?,
+                alpha: r.f32()?,
+            },
+            OP_MATMUL => KernelOp::MatMul {
+                a: r.u64()?,
+                b: r.u64()?,
+                out: r.u64()?,
+                m: r.u32()?,
+                k: r.u32()?,
+                n: r.u32()?,
+            },
+            OP_FC => KernelOp::FullyConnected {
+                x: r.u64()?,
+                w: r.u64()?,
+                bias: r.u64()?,
+                out: r.u64()?,
+                m: r.u32()?,
+                k: r.u32()?,
+                n: r.u32()?,
+                act: r.act()?,
+            },
+            OP_CONV2D => KernelOp::Conv2d {
+                x: r.u64()?,
+                w: r.u64()?,
+                bias: r.u64()?,
+                out: r.u64()?,
+                cin: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                cout: r.u32()?,
+                kh: r.u32()?,
+                kw: r.u32()?,
+                stride: r.u32()?,
+                pad: r.u32()?,
+                groups: r.u32()?,
+                act: r.act()?,
+            },
+            OP_POOL2D => KernelOp::Pool2d {
+                x: r.u64()?,
+                out: r.u64()?,
+                c: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                win: r.u32()?,
+                stride: r.u32()?,
+                kind: r.pool()?,
+            },
+            OP_ACT => KernelOp::Activation {
+                x: r.u64()?,
+                out: r.u64()?,
+                n: r.u32()?,
+                act: r.act()?,
+            },
+            OP_SOFTMAX => KernelOp::Softmax {
+                x: r.u64()?,
+                out: r.u64()?,
+                rows: r.u32()?,
+                cols: r.u32()?,
+            },
+            OP_CONCAT2 => KernelOp::Concat2 {
+                a: r.u64()?,
+                na: r.u32()?,
+                b: r.u64()?,
+                nb: r.u32()?,
+                out: r.u64()?,
+            },
+            OP_UPSAMPLE => KernelOp::Upsample2x {
+                x: r.u64()?,
+                out: r.u64()?,
+                c: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+            },
+            OP_BNORM => KernelOp::BatchNormInf {
+                x: r.u64()?,
+                out: r.u64()?,
+                scale: r.u64()?,
+                shift: r.u64()?,
+                c: r.u32()?,
+                hw: r.u32()?,
+            },
+            OP_IM2COL => KernelOp::Im2Col {
+                x: r.u64()?,
+                out: r.u64()?,
+                cin: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                kh: r.u32()?,
+                kw: r.u32()?,
+                stride: r.u32()?,
+                pad: r.u32()?,
+            },
+            OP_SMXENTG => KernelOp::SoftmaxXentGrad {
+                probs: r.u64()?,
+                labels: r.u64()?,
+                dx: r.u64()?,
+                rows: r.u32()?,
+                cols: r.u32()?,
+            },
+            OP_MMGRADW => KernelOp::MatMulGradW {
+                x: r.u64()?,
+                dy: r.u64()?,
+                dw: r.u64()?,
+                m: r.u32()?,
+                k: r.u32()?,
+                n: r.u32()?,
+            },
+            OP_MMGRADX => KernelOp::MatMulGradX {
+                dy: r.u64()?,
+                w: r.u64()?,
+                dx: r.u64()?,
+                m: r.u32()?,
+                k: r.u32()?,
+                n: r.u32()?,
+            },
+            OP_RELUGRAD => KernelOp::ReluGrad {
+                x: r.u64()?,
+                dy: r.u64()?,
+                dx: r.u64()?,
+                n: r.u32()?,
+            },
+            OP_BIASGRAD => KernelOp::BiasGradReduce {
+                dy: r.u64()?,
+                db: r.u64()?,
+                m: r.u32()?,
+                n: r.u32()?,
+            },
+            OP_SGD => KernelOp::SgdStep {
+                w: r.u64()?,
+                g: r.u64()?,
+                n: r.u32()?,
+                lr: r.f32()?,
+            },
+            OP_CONVGRADW => KernelOp::Conv2dGradW {
+                x: r.u64()?,
+                dy: r.u64()?,
+                dw: r.u64()?,
+                cin: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                cout: r.u32()?,
+                kh: r.u32()?,
+                kw: r.u32()?,
+                stride: r.u32()?,
+                pad: r.u32()?,
+            },
+            OP_CONVGRADX => KernelOp::Conv2dGradX {
+                dy: r.u64()?,
+                w: r.u64()?,
+                dx: r.u64()?,
+                cin: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                cout: r.u32()?,
+                kh: r.u32()?,
+                kw: r.u32()?,
+                stride: r.u32()?,
+                pad: r.u32()?,
+            },
+            OP_POOLGRAD => KernelOp::PoolGrad {
+                x: r.u64()?,
+                dy: r.u64()?,
+                dx: r.u64()?,
+                c: r.u32()?,
+                h: r.u32()?,
+                wd: r.u32()?,
+                win: r.u32()?,
+                stride: r.u32()?,
+                kind: r.pool()?,
+            },
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        if r.pos != blob.len() {
+            return Err(DecodeError::TrailingBytes(blob.len() - r.pos));
+        }
+        Ok(op)
+    }
+
+    /// Short mnemonic for logging and job labels.
+    pub fn mnemonic(&self) -> &'static str {
+        use KernelOp::*;
+        match self {
+            Fill { .. } => "fill",
+            CopyBytes { .. } => "copy",
+            EltwiseAdd { .. } => "eltadd",
+            Scale { .. } => "scale",
+            MatMul { .. } => "matmul",
+            FullyConnected { .. } => "fc",
+            Conv2d { .. } => "conv2d",
+            Pool2d { .. } => "pool2d",
+            Activation { .. } => "act",
+            Softmax { .. } => "softmax",
+            Concat2 { .. } => "concat",
+            Upsample2x { .. } => "upsample",
+            BatchNormInf { .. } => "bnorm",
+            Im2Col { .. } => "im2col",
+            SoftmaxXentGrad { .. } => "smxent_g",
+            MatMulGradW { .. } => "mm_gw",
+            MatMulGradX { .. } => "mm_gx",
+            ReluGrad { .. } => "relu_g",
+            BiasGradReduce { .. } => "bias_g",
+            SgdStep { .. } => "sgd",
+            Conv2dGradW { .. } => "conv_gw",
+            Conv2dGradX { .. } => "conv_gx",
+            PoolGrad { .. } => "pool_g",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<KernelOp> {
+        use KernelOp::*;
+        vec![
+            Fill { out: 0x1000, n: 16, value: 1.5 },
+            CopyBytes { src: 0x1000, dst: 0x2000, len: 64 },
+            EltwiseAdd { a: 1, b: 2, out: 3, n: 4, act: ActKind::Relu },
+            Scale { a: 1, out: 2, n: 8, alpha: -0.5 },
+            MatMul { a: 1, b: 2, out: 3, m: 4, k: 5, n: 6 },
+            FullyConnected { x: 1, w: 2, bias: 0, out: 4, m: 1, k: 8, n: 10, act: ActKind::None },
+            Conv2d {
+                x: 1, w: 2, bias: 3, out: 4, cin: 3, h: 8, wd: 8, cout: 16,
+                kh: 3, kw: 3, stride: 1, pad: 1, groups: 1, act: ActKind::Relu6,
+            },
+            Pool2d { x: 1, out: 2, c: 4, h: 8, wd: 8, win: 2, stride: 2, kind: PoolKind::Max },
+            Activation { x: 1, out: 2, n: 7, act: ActKind::LeakyRelu },
+            Softmax { x: 1, out: 2, rows: 1, cols: 10 },
+            Concat2 { a: 1, na: 5, b: 2, nb: 6, out: 3 },
+            Upsample2x { x: 1, out: 2, c: 2, h: 4, wd: 4 },
+            BatchNormInf { x: 1, out: 2, scale: 3, shift: 4, c: 8, hw: 16 },
+            Im2Col { x: 1, out: 2, cin: 3, h: 8, wd: 8, kh: 3, kw: 3, stride: 1, pad: 1 },
+            SoftmaxXentGrad { probs: 1, labels: 2, dx: 3, rows: 4, cols: 10 },
+            MatMulGradW { x: 1, dy: 2, dw: 3, m: 4, k: 5, n: 6 },
+            MatMulGradX { dy: 1, w: 2, dx: 3, m: 4, k: 5, n: 6 },
+            ReluGrad { x: 1, dy: 2, dx: 3, n: 9 },
+            BiasGradReduce { dy: 1, db: 2, m: 3, n: 4 },
+            SgdStep { w: 1, g: 2, n: 10, lr: 0.01 },
+            Conv2dGradW { x: 1, dy: 2, dw: 3, cin: 1, h: 8, wd: 8, cout: 4, kh: 3, kw: 3, stride: 1, pad: 1 },
+            Conv2dGradX { dy: 1, w: 2, dx: 3, cin: 1, h: 8, wd: 8, cout: 4, kh: 3, kw: 3, stride: 1, pad: 1 },
+            PoolGrad { x: 1, dy: 2, dx: 3, c: 2, h: 4, wd: 4, win: 2, stride: 2, kind: PoolKind::Avg },
+        ]
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        for op in samples() {
+            let blob = op.encode();
+            let back = KernelOp::decode(&blob).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+            assert_eq!(back, op);
+            assert!(!op.mnemonic().is_empty());
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let blob = samples()[6].encode(); // conv2d, longest fixed layout
+        for cut in 0..blob.len() {
+            let err = KernelOp::decode(&blob[..cut]).unwrap_err();
+            assert_eq!(err, DecodeError::Truncated, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut blob = samples()[0].encode();
+        blob.push(0);
+        assert_eq!(KernelOp::decode(&blob), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_opcode_and_enum_detected() {
+        let blob = 0xFFFF_FFFFu32.to_le_bytes().to_vec();
+        assert_eq!(KernelOp::decode(&blob), Err(DecodeError::BadOpcode(0xFFFF_FFFF)));
+
+        // Activation with an invalid act tag.
+        let mut blob = KernelOp::Activation { x: 1, out: 2, n: 3, act: ActKind::Relu }.encode();
+        let len = blob.len();
+        blob[len - 4..].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(KernelOp::decode(&blob), Err(DecodeError::BadEnum(99)));
+    }
+
+    #[test]
+    fn enum_tags_roundtrip() {
+        for k in [ActKind::None, ActKind::Relu, ActKind::Relu6, ActKind::LeakyRelu, ActKind::Sigmoid, ActKind::Tanh] {
+            assert_eq!(ActKind::from_u32(k as u32), Some(k));
+        }
+        assert_eq!(ActKind::from_u32(42), None);
+        for k in [PoolKind::Max, PoolKind::Avg] {
+            assert_eq!(PoolKind::from_u32(k as u32), Some(k));
+        }
+        assert_eq!(PoolKind::from_u32(9), None);
+    }
+}

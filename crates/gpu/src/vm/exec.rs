@@ -1,0 +1,415 @@
+//! Executes a decoded [`KernelOp`] against GPU virtual memory.
+//!
+//! The device models hand this module a [`VaMem`] — an accessor that
+//! translates GPU virtual addresses through the device's page tables. A
+//! translation failure surfaces as [`ExecError::MemFault`], which the
+//! device turns into an MMU fault interrupt (the §7.2 fault-injection
+//! experiments corrupt PTEs to trigger exactly this path).
+
+use std::fmt;
+
+use super::bytecode::{DecodeError, KernelOp};
+use super::kernels as k;
+
+/// GPU-virtual-address memory access used by kernel execution.
+pub trait VaMem {
+    /// Reads `len` bytes at virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the faulting VA when translation or a physical access fails.
+    fn read_bytes(&mut self, va: u64, len: usize) -> Result<Vec<u8>, u64>;
+
+    /// Writes `data` at virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the faulting VA when translation or a physical access fails.
+    fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64>;
+}
+
+/// Why kernel execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A virtual access could not be translated (MMU fault).
+    MemFault {
+        /// Faulting virtual address.
+        va: u64,
+    },
+    /// The shader blob did not decode.
+    BadShader(DecodeError),
+    /// Dimensions within the op were inconsistent.
+    BadParams(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemFault { va } => write!(f, "GPU memory fault at va={va:#x}"),
+            ExecError::BadShader(e) => write!(f, "bad shader blob: {e}"),
+            ExecError::BadParams(msg) => write!(f, "bad kernel parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DecodeError> for ExecError {
+    fn from(e: DecodeError) -> Self {
+        ExecError::BadShader(e)
+    }
+}
+
+fn read_f32s<M: VaMem + ?Sized>(mem: &mut M, va: u64, n: usize) -> Result<Vec<f32>, ExecError> {
+    let bytes = mem
+        .read_bytes(va, n * 4)
+        .map_err(|va| ExecError::MemFault { va })?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
+fn write_f32s<M: VaMem + ?Sized>(mem: &mut M, va: u64, vals: &[f32]) -> Result<(), ExecError> {
+    let mut bytes = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    mem.write_bytes(va, &bytes)
+        .map_err(|va| ExecError::MemFault { va })
+}
+
+fn opt_bias<M: VaMem + ?Sized>(mem: &mut M, va: u64, n: usize) -> Result<Option<Vec<f32>>, ExecError> {
+    if va == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(read_f32s(mem, va, n)?))
+    }
+}
+
+/// Runs one kernel op to completion against `mem`.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on MMU faults or malformed ops. On error, partial
+/// output writes may have occurred — the device model treats any error as a
+/// job failure and the replayer re-executes from a clean state, so partial
+/// writes are never observed by correct runs.
+pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), ExecError> {
+    use KernelOp::*;
+    match *op {
+        Fill { out, n, value } => write_f32s(mem, out, &vec![value; n as usize]),
+        CopyBytes { src, dst, len } => {
+            let b = mem
+                .read_bytes(src, len as usize)
+                .map_err(|va| ExecError::MemFault { va })?;
+            mem.write_bytes(dst, &b).map_err(|va| ExecError::MemFault { va })
+        }
+        EltwiseAdd { a, b, out, n, act } => {
+            let av = read_f32s(mem, a, n as usize)?;
+            let bv = read_f32s(mem, b, n as usize)?;
+            let sum: Vec<f32> = av
+                .iter()
+                .zip(&bv)
+                .map(|(&x, &y)| k::apply_act(act, x + y))
+                .collect();
+            write_f32s(mem, out, &sum)
+        }
+        Scale { a, out, n, alpha } => {
+            let av = read_f32s(mem, a, n as usize)?;
+            let sv: Vec<f32> = av.iter().map(|&x| x * alpha).collect();
+            write_f32s(mem, out, &sv)
+        }
+        MatMul { a, b, out, m, k: kk, n } => {
+            let av = read_f32s(mem, a, (m * kk) as usize)?;
+            let bv = read_f32s(mem, b, (kk * n) as usize)?;
+            let o = k::matmul(&av, &bv, m as usize, kk as usize, n as usize);
+            write_f32s(mem, out, &o)
+        }
+        FullyConnected { x, w, bias, out, m, k: kk, n, act } => {
+            let xv = read_f32s(mem, x, (m * kk) as usize)?;
+            let wv = read_f32s(mem, w, (kk * n) as usize)?;
+            let bv = opt_bias(mem, bias, n as usize)?;
+            let o = k::fully_connected(&xv, &wv, bv.as_deref(), m as usize, kk as usize, n as usize, act);
+            write_f32s(mem, out, &o)
+        }
+        Conv2d { x, w, bias, out, cin, h, wd, cout, kh, kw, stride, pad, groups, act } => {
+            if groups == 0 || cin % groups != 0 || cout % groups != 0 || stride == 0 {
+                return Err(ExecError::BadParams(format!(
+                    "conv2d groups={groups} cin={cin} cout={cout} stride={stride}"
+                )));
+            }
+            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
+            let wv = read_f32s(mem, w, (cout * (cin / groups) * kh * kw) as usize)?;
+            let bv = opt_bias(mem, bias, cout as usize)?;
+            let o = k::conv2d(
+                &xv, &wv, bv.as_deref(),
+                cin as usize, h as usize, wd as usize, cout as usize,
+                kh as usize, kw as usize, stride as usize, pad as usize,
+                groups as usize, act,
+            );
+            write_f32s(mem, out, &o)
+        }
+        Pool2d { x, out, c, h, wd, win, stride, kind } => {
+            if stride == 0 || win == 0 || win > h || win > wd {
+                return Err(ExecError::BadParams(format!("pool win={win} stride={stride} h={h} w={wd}")));
+            }
+            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
+            let o = k::pool2d(&xv, c as usize, h as usize, wd as usize, win as usize, stride as usize, kind);
+            write_f32s(mem, out, &o)
+        }
+        Activation { x, out, n, act } => {
+            let xv = read_f32s(mem, x, n as usize)?;
+            let o: Vec<f32> = xv.iter().map(|&v| k::apply_act(act, v)).collect();
+            write_f32s(mem, out, &o)
+        }
+        Softmax { x, out, rows, cols } => {
+            let xv = read_f32s(mem, x, (rows * cols) as usize)?;
+            let o = k::softmax(&xv, rows as usize, cols as usize);
+            write_f32s(mem, out, &o)
+        }
+        Concat2 { a, na, b, nb, out } => {
+            let mut av = read_f32s(mem, a, na as usize)?;
+            let bv = read_f32s(mem, b, nb as usize)?;
+            av.extend_from_slice(&bv);
+            write_f32s(mem, out, &av)
+        }
+        Upsample2x { x, out, c, h, wd } => {
+            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
+            let o = k::upsample2x(&xv, c as usize, h as usize, wd as usize);
+            write_f32s(mem, out, &o)
+        }
+        BatchNormInf { x, out, scale, shift, c, hw } => {
+            let xv = read_f32s(mem, x, (c * hw) as usize)?;
+            let sv = read_f32s(mem, scale, c as usize)?;
+            let hv = read_f32s(mem, shift, c as usize)?;
+            let o = k::batchnorm_inf(&xv, &sv, &hv, c as usize, hw as usize);
+            write_f32s(mem, out, &o)
+        }
+        Im2Col { x, out, cin, h, wd, kh, kw, stride, pad } => {
+            if stride == 0 {
+                return Err(ExecError::BadParams("im2col stride=0".into()));
+            }
+            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
+            let o = k::im2col(&xv, cin as usize, h as usize, wd as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            write_f32s(mem, out, &o)
+        }
+        SoftmaxXentGrad { probs, labels, dx, rows, cols } => {
+            let pv = read_f32s(mem, probs, (rows * cols) as usize)?;
+            let lv = read_f32s(mem, labels, rows as usize)?;
+            for &l in &lv {
+                if l < 0.0 || l as u32 >= cols {
+                    return Err(ExecError::BadParams(format!("label {l} out of range")));
+                }
+            }
+            let o = k::softmax_xent_grad(&pv, &lv, rows as usize, cols as usize);
+            write_f32s(mem, dx, &o)
+        }
+        MatMulGradW { x, dy, dw, m, k: kk, n } => {
+            let xv = read_f32s(mem, x, (m * kk) as usize)?;
+            let dv = read_f32s(mem, dy, (m * n) as usize)?;
+            let o = k::matmul_grad_w(&xv, &dv, m as usize, kk as usize, n as usize);
+            write_f32s(mem, dw, &o)
+        }
+        MatMulGradX { dy, w, dx, m, k: kk, n } => {
+            let dv = read_f32s(mem, dy, (m * n) as usize)?;
+            let wv = read_f32s(mem, w, (kk * n) as usize)?;
+            let o = k::matmul_grad_x(&dv, &wv, m as usize, kk as usize, n as usize);
+            write_f32s(mem, dx, &o)
+        }
+        ReluGrad { x, dy, dx, n } => {
+            let xv = read_f32s(mem, x, n as usize)?;
+            let dv = read_f32s(mem, dy, n as usize)?;
+            let o = k::relu_grad(&xv, &dv);
+            write_f32s(mem, dx, &o)
+        }
+        BiasGradReduce { dy, db, m, n } => {
+            let dv = read_f32s(mem, dy, (m * n) as usize)?;
+            let o = k::bias_grad(&dv, m as usize, n as usize);
+            write_f32s(mem, db, &o)
+        }
+        SgdStep { w, g, n, lr } => {
+            let mut wv = read_f32s(mem, w, n as usize)?;
+            let gv = read_f32s(mem, g, n as usize)?;
+            k::sgd_step(&mut wv, &gv, lr);
+            write_f32s(mem, w, &wv)
+        }
+        Conv2dGradW { x, dy, dw, cin, h, wd, cout, kh, kw, stride, pad } => {
+            if stride == 0 {
+                return Err(ExecError::BadParams("conv_gw stride=0".into()));
+            }
+            let ho = k::out_dim(h, kh, stride, pad) as usize;
+            let wo = k::out_dim(wd, kw, stride, pad) as usize;
+            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
+            let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
+            let o = k::conv2d_grad_w(&xv, &dv, cin as usize, h as usize, wd as usize, cout as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            write_f32s(mem, dw, &o)
+        }
+        Conv2dGradX { dy, w, dx, cin, h, wd, cout, kh, kw, stride, pad } => {
+            if stride == 0 {
+                return Err(ExecError::BadParams("conv_gx stride=0".into()));
+            }
+            let ho = k::out_dim(h, kh, stride, pad) as usize;
+            let wo = k::out_dim(wd, kw, stride, pad) as usize;
+            let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
+            let wv = read_f32s(mem, w, (cout * cin * kh * kw) as usize)?;
+            let o = k::conv2d_grad_x(&dv, &wv, cin as usize, h as usize, wd as usize, cout as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            write_f32s(mem, dx, &o)
+        }
+        PoolGrad { x, dy, dx, c, h, wd, win, stride, kind } => {
+            if stride == 0 || win == 0 {
+                return Err(ExecError::BadParams("pool_g win/stride".into()));
+            }
+            let ho = k::out_dim(h, win, stride, 0) as usize;
+            let wo = k::out_dim(wd, win, stride, 0) as usize;
+            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
+            let dv = read_f32s(mem, dy, c as usize * ho * wo)?;
+            let o = k::pool_grad(&xv, &dv, c as usize, h as usize, wd as usize, win as usize, stride as usize, kind);
+            write_f32s(mem, dx, &o)
+        }
+    }
+}
+
+/// Convenience: decode a blob then execute it.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on decode failures, MMU faults, or bad parameters.
+pub fn execute_blob<M: VaMem + ?Sized>(blob: &[u8], mem: &mut M) -> Result<(), ExecError> {
+    let op = KernelOp::decode(blob)?;
+    execute(&op, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::bytecode::ActKind;
+    use std::collections::HashMap;
+
+    /// Flat test memory with a configurable "hole" that faults.
+    #[derive(Default)]
+    struct TestMem {
+        pages: HashMap<u64, Vec<u8>>,
+        fault_at: Option<u64>,
+    }
+
+    const PG: u64 = 4096;
+
+    impl TestMem {
+        fn check(&self, va: u64, len: usize) -> Result<(), u64> {
+            if let Some(f) = self.fault_at {
+                if va <= f && f < va + len as u64 {
+                    return Err(f);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl VaMem for TestMem {
+        fn read_bytes(&mut self, va: u64, len: usize) -> Result<Vec<u8>, u64> {
+            self.check(va, len)?;
+            let mut out = vec![0u8; len];
+            for (i, b) in out.iter_mut().enumerate() {
+                let a = va + i as u64;
+                if let Some(p) = self.pages.get(&(a / PG)) {
+                    *b = p[(a % PG) as usize];
+                }
+            }
+            Ok(out)
+        }
+        fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
+            self.check(va, data.len())?;
+            for (i, &b) in data.iter().enumerate() {
+                let a = va + i as u64;
+                let p = self.pages.entry(a / PG).or_insert_with(|| vec![0; PG as usize]);
+                p[(a % PG) as usize] = b;
+            }
+            Ok(())
+        }
+    }
+
+    fn put_f32s(mem: &mut TestMem, va: u64, vals: &[f32]) {
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        mem.write_bytes(va, &bytes).unwrap();
+    }
+
+    fn get_f32s(mem: &mut TestMem, va: u64, n: usize) -> Vec<f32> {
+        mem.read_bytes(va, n * 4)
+            .unwrap()
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn vecadd_end_to_end() {
+        let mut mem = TestMem::default();
+        put_f32s(&mut mem, 0x1000, &[1., 2., 3.]);
+        put_f32s(&mut mem, 0x2000, &[10., 20., 30.]);
+        let op = KernelOp::EltwiseAdd { a: 0x1000, b: 0x2000, out: 0x3000, n: 3, act: ActKind::None };
+        execute(&op, &mut mem).unwrap();
+        assert_eq!(get_f32s(&mut mem, 0x3000, 3), vec![11., 22., 33.]);
+    }
+
+    #[test]
+    fn page_crossing_access_works() {
+        let mut mem = TestMem::default();
+        let va = PG - 8; // straddles the first page boundary
+        put_f32s(&mut mem, va, &[5., 6., 7., 8.]);
+        let op = KernelOp::Scale { a: va, out: va, n: 4, alpha: 2.0 };
+        execute(&op, &mut mem).unwrap();
+        assert_eq!(get_f32s(&mut mem, va, 4), vec![10., 12., 14., 16.]);
+    }
+
+    #[test]
+    fn mem_fault_propagates() {
+        let mut mem = TestMem::default();
+        mem.fault_at = Some(0x2004);
+        let op = KernelOp::Fill { out: 0x2000, n: 4, value: 1.0 };
+        assert_eq!(execute(&op, &mut mem), Err(ExecError::MemFault { va: 0x2004 }));
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut mem = TestMem::default();
+        let op = KernelOp::Conv2d {
+            x: 0, w: 0, bias: 0, out: 0, cin: 3, h: 4, wd: 4, cout: 4,
+            kh: 1, kw: 1, stride: 1, pad: 0, groups: 2, act: ActKind::None,
+        };
+        assert!(matches!(execute(&op, &mut mem), Err(ExecError::BadParams(_))));
+        // An out-of-range label is rejected before any write happens.
+        put_f32s(&mut mem, 0, &[9.0]);
+        let op2 = KernelOp::SoftmaxXentGrad { probs: 0x100, labels: 0, dx: 0x200, rows: 1, cols: 2 };
+        assert!(matches!(execute(&op2, &mut mem), Err(ExecError::BadParams(_))));
+    }
+
+    #[test]
+    fn blob_roundtrip_execution() {
+        let mut mem = TestMem::default();
+        put_f32s(&mut mem, 0x100, &[-3., 4.]);
+        let blob = KernelOp::Activation { x: 0x100, out: 0x200, n: 2, act: ActKind::Relu }.encode();
+        execute_blob(&blob, &mut mem).unwrap();
+        assert_eq!(get_f32s(&mut mem, 0x200, 2), vec![0., 4.]);
+        assert!(matches!(
+            execute_blob(&blob[..3], &mut mem),
+            Err(ExecError::BadShader(_))
+        ));
+    }
+
+    #[test]
+    fn sgd_updates_in_place() {
+        let mut mem = TestMem::default();
+        put_f32s(&mut mem, 0x100, &[1.0, 1.0]);
+        put_f32s(&mut mem, 0x200, &[0.5, -0.5]);
+        execute(
+            &KernelOp::SgdStep { w: 0x100, g: 0x200, n: 2, lr: 1.0 },
+            &mut mem,
+        )
+        .unwrap();
+        assert_eq!(get_f32s(&mut mem, 0x100, 2), vec![0.5, 1.5]);
+    }
+}

@@ -1,0 +1,730 @@
+//! The f32 math behind each [`super::bytecode::KernelOp`].
+//!
+//! These are straightforward reference implementations: the simulated GPU
+//! is not trying to be fast, it is trying to be *bit-stable* so the §7.2
+//! validation can compare replayed outputs against the CPU reference
+//! executor exactly.
+
+use super::bytecode::{ActKind, PoolKind};
+
+/// Applies an activation to a single value.
+pub fn apply_act(act: ActKind, v: f32) -> f32 {
+    match act {
+        ActKind::None => v,
+        ActKind::Relu => v.max(0.0),
+        ActKind::Relu6 => v.max(0.0).min(6.0),
+        ActKind::LeakyRelu => {
+            if v > 0.0 {
+                v
+            } else {
+                0.1 * v
+            }
+        }
+        ActKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        ActKind::Tanh => v.tanh(),
+    }
+}
+
+/// Output spatial size of a conv/pool axis (0 when the kernel does not fit).
+pub fn out_dim(input: u32, kernel: u32, stride: u32, pad: u32) -> u32 {
+    debug_assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+/// Dense GEMM: `out[m×n] = a[m×k] · b[k×n]`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs size");
+    assert_eq!(b.len(), k * n, "rhs size");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Fully connected: `act(x[m×k] · w[k×n] + bias[n])`.
+pub fn fully_connected(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    act: ActKind,
+) -> Vec<f32> {
+    let mut out = matmul(x, w, m, k, n);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "bias size");
+        for row in out.chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+    for o in &mut out {
+        *o = apply_act(act, *o);
+    }
+    out
+}
+
+/// Grouped 2-D convolution over NCHW (batch 1) with fused bias/activation.
+///
+/// Weights are laid out `cout × (cin/groups) × kh × kw`.
+///
+/// # Panics
+///
+/// Panics if the channel counts are not divisible by `groups` or buffer
+/// sizes disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    act: ActKind,
+) -> Vec<f32> {
+    assert!(groups > 0 && cin % groups == 0 && cout % groups == 0, "bad groups");
+    let cing = cin / groups;
+    let coutg = cout / groups;
+    assert_eq!(x.len(), cin * h * wd, "input size");
+    assert_eq!(w.len(), cout * cing * kh * kw, "weight size");
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    let mut out = vec![0.0f32; cout * ho * wo];
+    for g in 0..groups {
+        for ocg in 0..coutg {
+            let oc = g * coutg + ocg;
+            let b = bias.map_or(0.0, |b| b[oc]);
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = b;
+                    for icg in 0..cing {
+                        let ic = g * cing + icg;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                let xv = x[ic * h * wd + iy as usize * wd + ix as usize];
+                                let wv = w[((oc * cing + icg) * kh + ky) * kw + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out[oc * ho * wo + oy * wo + ox] = apply_act(act, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 2-D pooling over NCHW, no padding.
+pub fn pool2d(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    wd: usize,
+    win: usize,
+    stride: usize,
+    kind: PoolKind,
+) -> Vec<f32> {
+    assert_eq!(x.len(), c * h * wd, "input size");
+    let ho = out_dim(h as u32, win as u32, stride as u32, 0) as usize;
+    let wo = out_dim(wd as u32, win as u32, stride as u32, 0) as usize;
+    let mut out = vec![0.0f32; c * ho * wo];
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                for ky in 0..win {
+                    for kx in 0..win {
+                        let v = x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
+                        best = best.max(v);
+                        sum += v;
+                    }
+                }
+                out[ch * ho * wo + oy * wo + ox] = match kind {
+                    PoolKind::Max => best,
+                    PoolKind::Avg => sum / (win * win) as f32,
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise numerically-stable softmax.
+pub fn softmax(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "input size");
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (i, &v) in row.iter().enumerate() {
+            let e = (v - mx).exp();
+            out[r * cols + i] = e;
+            denom += e;
+        }
+        for v in &mut out[r * cols..(r + 1) * cols] {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour 2× upsample over NCHW.
+pub fn upsample2x(x: &[f32], c: usize, h: usize, wd: usize) -> Vec<f32> {
+    assert_eq!(x.len(), c * h * wd, "input size");
+    let mut out = vec![0.0f32; c * h * 2 * wd * 2];
+    for ch in 0..c {
+        for y in 0..h * 2 {
+            for xx in 0..wd * 2 {
+                out[ch * h * 2 * wd * 2 + y * wd * 2 + xx] = x[ch * h * wd + (y / 2) * wd + xx / 2];
+            }
+        }
+    }
+    out
+}
+
+/// Inference batch-norm folded into per-channel scale/shift.
+pub fn batchnorm_inf(x: &[f32], scale: &[f32], shift: &[f32], c: usize, hw: usize) -> Vec<f32> {
+    assert_eq!(x.len(), c * hw, "input size");
+    assert_eq!(scale.len(), c, "scale size");
+    assert_eq!(shift.len(), c, "shift size");
+    let mut out = vec![0.0f32; c * hw];
+    for ch in 0..c {
+        for i in 0..hw {
+            out[ch * hw + i] = x[ch * hw + i] * scale[ch] + shift[ch];
+        }
+    }
+    out
+}
+
+/// ACL-style im2col producing a `(ho*wo) × (cin*kh*kw)` patch matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    x: &[f32],
+    cin: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    assert_eq!(x.len(), cin * h * wd, "input size");
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    let cols = cin * kh * kw;
+    let mut out = vec![0.0f32; ho * wo * cols];
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            for ic in 0..cin {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy < 0 || iy >= h as isize || ix < 0 || ix >= wd as isize {
+                            0.0
+                        } else {
+                            x[ic * h * wd + iy as usize * wd + ix as usize]
+                        };
+                        out[row * cols + (ic * kh + ky) * kw + kx] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Softmax + cross-entropy gradient: `(probs - onehot(labels)) / rows`.
+pub fn softmax_xent_grad(probs: &[f32], labels: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(probs.len(), rows * cols, "probs size");
+    assert_eq!(labels.len(), rows, "labels size");
+    let mut dx = probs.to_vec();
+    let inv = 1.0 / rows as f32;
+    for r in 0..rows {
+        let cls = labels[r] as usize;
+        assert!(cls < cols, "label out of range");
+        dx[r * cols + cls] -= 1.0;
+        for v in &mut dx[r * cols..(r + 1) * cols] {
+            *v *= inv;
+        }
+    }
+    dx
+}
+
+/// `dw[k×n] = xᵀ · dy` for a forward `x[m×k] · w[k×n]`.
+pub fn matmul_grad_w(x: &[f32], dy: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(x.len(), m * k, "x size");
+    assert_eq!(dy.len(), m * n, "dy size");
+    let mut dw = vec![0.0f32; k * n];
+    for i in 0..m {
+        for p in 0..k {
+            let xv = x[i * k + p];
+            if xv == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                dw[p * n + j] += xv * dy[i * n + j];
+            }
+        }
+    }
+    dw
+}
+
+/// `dx[m×k] = dy · wᵀ` for a forward `x[m×k] · w[k×n]`.
+pub fn matmul_grad_x(dy: &[f32], w: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(dy.len(), m * n, "dy size");
+    assert_eq!(w.len(), k * n, "w size");
+    let mut dx = vec![0.0f32; m * k];
+    for i in 0..m {
+        for j in 0..n {
+            let dv = dy[i * n + j];
+            if dv == 0.0 {
+                continue;
+            }
+            for p in 0..k {
+                dx[i * k + p] += dv * w[p * n + j];
+            }
+        }
+    }
+    dx
+}
+
+/// ReLU backward.
+pub fn relu_grad(x: &[f32], dy: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), dy.len(), "size mismatch");
+    x.iter()
+        .zip(dy)
+        .map(|(&xv, &dv)| if xv > 0.0 { dv } else { 0.0 })
+        .collect()
+}
+
+/// Column sums of `dy[m×n]` (bias gradient).
+pub fn bias_grad(dy: &[f32], m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(dy.len(), m * n, "dy size");
+    let mut db = vec![0.0f32; n];
+    for row in dy.chunks(n) {
+        for (d, &v) in db.iter_mut().zip(row) {
+            *d += v;
+        }
+    }
+    db
+}
+
+/// In-place SGD step: `w -= lr * g`.
+pub fn sgd_step(w: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(w.len(), g.len(), "size mismatch");
+    for (wv, &gv) in w.iter_mut().zip(g) {
+        *wv -= lr * gv;
+    }
+}
+
+/// Convolution weight gradient (groups = 1).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_grad_w(
+    x: &[f32],
+    dy: &[f32],
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    assert_eq!(x.len(), cin * h * wd, "x size");
+    assert_eq!(dy.len(), cout * ho * wo, "dy size");
+    let mut dw = vec![0.0f32; cout * cin * kh * kw];
+    for oc in 0..cout {
+        for ic in 0..cin {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let mut acc = 0.0f32;
+                    for oy in 0..ho {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..wo {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= wd as isize {
+                                continue;
+                            }
+                            acc += x[ic * h * wd + iy as usize * wd + ix as usize]
+                                * dy[oc * ho * wo + oy * wo + ox];
+                        }
+                    }
+                    dw[((oc * cin + ic) * kh + ky) * kw + kx] = acc;
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// Convolution input gradient (groups = 1).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_grad_x(
+    dy: &[f32],
+    w: &[f32],
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    assert_eq!(dy.len(), cout * ho * wo, "dy size");
+    assert_eq!(w.len(), cout * cin * kh * kw, "w size");
+    let mut dx = vec![0.0f32; cin * h * wd];
+    for oc in 0..cout {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let dv = dy[oc * ho * wo + oy * wo + ox];
+                if dv == 0.0 {
+                    continue;
+                }
+                for ic in 0..cin {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= wd as isize {
+                                continue;
+                            }
+                            dx[ic * h * wd + iy as usize * wd + ix as usize] +=
+                                dv * w[((oc * cin + ic) * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Pooling backward.
+#[allow(clippy::too_many_arguments)]
+pub fn pool_grad(
+    x: &[f32],
+    dy: &[f32],
+    c: usize,
+    h: usize,
+    wd: usize,
+    win: usize,
+    stride: usize,
+    kind: PoolKind,
+) -> Vec<f32> {
+    let ho = out_dim(h as u32, win as u32, stride as u32, 0) as usize;
+    let wo = out_dim(wd as u32, win as u32, stride as u32, 0) as usize;
+    assert_eq!(x.len(), c * h * wd, "x size");
+    assert_eq!(dy.len(), c * ho * wo, "dy size");
+    let mut dx = vec![0.0f32; c * h * wd];
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let dv = dy[ch * ho * wo + oy * wo + ox];
+                match kind {
+                    PoolKind::Max => {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut arg = (0, 0);
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                let v = x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
+                                if v > best {
+                                    best = v;
+                                    arg = (oy * stride + ky, ox * stride + kx);
+                                }
+                            }
+                        }
+                        dx[ch * h * wd + arg.0 * wd + arg.1] += dv;
+                    }
+                    PoolKind::Avg => {
+                        let share = dv / (win * win) as f32;
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                dx[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)] += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn activations() {
+        assert_eq!(apply_act(ActKind::Relu, -2.0), 0.0);
+        assert_eq!(apply_act(ActKind::Relu, 2.0), 2.0);
+        assert_eq!(apply_act(ActKind::Relu6, 9.0), 6.0);
+        assert!((apply_act(ActKind::LeakyRelu, -1.0) + 0.1).abs() < 1e-6);
+        assert!((apply_act(ActKind::Sigmoid, 0.0) - 0.5).abs() < 1e-6);
+        assert!((apply_act(ActKind::Tanh, 0.0)).abs() < 1e-6);
+        assert_eq!(apply_act(ActKind::None, 3.5), 3.5);
+    }
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let out = matmul(&[1., 2., 3., 4.], &[5., 6., 7., 8.], 2, 2, 2);
+        assert_eq!(out, vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn fc_bias_and_act() {
+        let out = fully_connected(&[1., -1.], &[1., 0., 0., 1.], Some(&[0.5, -10.0]), 1, 2, 2, ActKind::Relu);
+        assert_eq!(out, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x3x3 input, 1x1x1x1 kernel of weight 2 => doubled input.
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let out = conv2d(&x, &[2.0], None, 1, 3, 3, 1, 1, 1, 1, 0, 1, ActKind::None);
+        assert_close(&out, &x.iter().map(|v| v * 2.0).collect::<Vec<_>>(), 1e-6);
+    }
+
+    #[test]
+    fn conv_padding_and_stride() {
+        // 1x2x2 input, 2x2 kernel of ones, stride 2, pad 1 -> 4 outputs,
+        // each seeing exactly one input element.
+        let out = conv2d(
+            &[1., 2., 3., 4.],
+            &[1., 1., 1., 1.],
+            None,
+            1, 2, 2, 1, 2, 2, 2, 1, 1,
+            ActKind::None,
+        );
+        assert_eq!(out, vec![1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn depthwise_conv_groups() {
+        // 2 channels, each with its own 1x1 kernel: [x1*10, x2*100].
+        let out = conv2d(
+            &[1., 2., 3., 4., 5., 6., 7., 8.],
+            &[10., 100.],
+            None,
+            2, 2, 2, 2, 1, 1, 1, 0, 2,
+            ActKind::None,
+        );
+        assert_eq!(out, vec![10., 20., 30., 40., 500., 600., 700., 800.]);
+    }
+
+    #[test]
+    fn conv_equals_im2col_matmul() {
+        // The ACL lowering identity the Mali path relies on:
+        // conv(x, w) == im2col(x) · reshape(w).
+        let x: Vec<f32> = (0..3 * 5 * 5).map(|v| (v as f32 * 0.37).sin()).collect();
+        let w: Vec<f32> = (0..4 * 3 * 3 * 3).map(|v| (v as f32 * 0.11).cos()).collect();
+        let direct = conv2d(&x, &w, None, 3, 5, 5, 4, 3, 3, 1, 1, 1, ActKind::None);
+
+        let cols = im2col(&x, 3, 5, 5, 3, 3, 1, 1);
+        // cols is (ho*wo) x (cin*kh*kw); w as (cout) x (cin*kh*kw).
+        // direct[oc, pix] = dot(w[oc], cols[pix]) = (cols · wᵀ)[pix, oc].
+        let howo = 25;
+        let ckk = 27;
+        let mut wt = vec![0.0f32; ckk * 4];
+        for oc in 0..4 {
+            for i in 0..ckk {
+                wt[i * 4 + oc] = w[oc * ckk + i];
+            }
+        }
+        let viagemm = matmul(&cols, &wt, howo, ckk, 4);
+        // viagemm is pix-major; transpose to channel-major to compare.
+        let mut t = vec![0.0f32; howo * 4];
+        for pix in 0..howo {
+            for oc in 0..4 {
+                t[oc * howo + pix] = viagemm[pix * 4 + oc];
+            }
+        }
+        assert_close(&t, &direct, 1e-4);
+    }
+
+    #[test]
+    fn pooling_max_and_avg() {
+        let x = vec![1., 2., 3., 4.];
+        assert_eq!(pool2d(&x, 1, 2, 2, 2, 2, PoolKind::Max), vec![4.]);
+        assert_eq!(pool2d(&x, 1, 2, 2, 2, 2, PoolKind::Avg), vec![2.5]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let out = softmax(&[1., 2., 3., 1., 1., 1.], 2, 3);
+        for r in 0..2 {
+            let s: f32 = out[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(out[2] > out[1] && out[1] > out[0]);
+        assert_close(&out[3..6], &[1.0 / 3.0; 3], 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let out = softmax(&[1000.0, 1001.0], 1, 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert!((out[0] + out[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn upsample_and_batchnorm() {
+        let up = upsample2x(&[1., 2., 3., 4.], 1, 2, 2);
+        assert_eq!(up, vec![1., 1., 2., 2., 1., 1., 2., 2., 3., 3., 4., 4., 3., 3., 4., 4.]);
+        let bn = batchnorm_inf(&[1., 2., 3., 4.], &[2., 10.], &[0.5, -1.0], 2, 2);
+        assert_eq!(bn, vec![2.5, 4.5, 29.0, 39.0]);
+    }
+
+    #[test]
+    fn xent_grad_matches_definition() {
+        let probs = vec![0.7, 0.2, 0.1, 0.1, 0.8, 0.1];
+        let g = softmax_xent_grad(&probs, &[0.0, 1.0], 2, 3);
+        assert_close(&g, &[-0.15, 0.1, 0.05, 0.05, -0.1, 0.05], 1e-6);
+    }
+
+    #[test]
+    fn matmul_grads_match_finite_difference() {
+        let m = 2;
+        let k = 3;
+        let n = 2;
+        let x: Vec<f32> = (0..m * k).map(|v| 0.3 * v as f32 - 0.4).collect();
+        let w: Vec<f32> = (0..k * n).map(|v| 0.2 * v as f32 + 0.1).collect();
+        // Loss = sum(out). Then dy = ones, dW = xᵀ·1, dX = 1·wᵀ.
+        let dy = vec![1.0f32; m * n];
+        let dw = matmul_grad_w(&x, &dy, m, k, n);
+        let dx = matmul_grad_x(&dy, &w, m, k, n);
+        let loss = |x: &[f32], w: &[f32]| -> f32 { matmul(x, w, m, k, n).iter().sum() };
+        let eps = 1e-2f32;
+        for i in 0..k * n {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw[i]).abs() < 1e-2, "dw[{i}]: {num} vs {}", dw[i]);
+        }
+        for i in 0..m * k {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn conv_grads_match_finite_difference() {
+        let (cin, h, wd, cout, kh, kw, stride, pad) = (2, 4, 4, 2, 3, 3, 1, 1);
+        let x: Vec<f32> = (0..cin * h * wd).map(|v| ((v * 7 % 13) as f32 - 6.0) * 0.1).collect();
+        let w: Vec<f32> = (0..cout * cin * kh * kw).map(|v| ((v * 5 % 11) as f32 - 5.0) * 0.05).collect();
+        let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+        let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+        let dy = vec![1.0f32; cout * ho * wo];
+        let dw = conv2d_grad_w(&x, &dy, cin, h, wd, cout, kh, kw, stride, pad);
+        let dx = conv2d_grad_x(&dy, &w, cin, h, wd, cout, kh, kw, stride, pad);
+        let loss = |x: &[f32], w: &[f32]| -> f32 {
+            conv2d(x, w, None, cin, h, wd, cout, kh, kw, stride, pad, 1, ActKind::None)
+                .iter()
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for i in (0..dw.len()).step_by(7) {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw[i]).abs() < 2e-2, "dw[{i}]: {num} vs {}", dw[i]);
+        }
+        for i in (0..dx.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 2e-2, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn pool_grad_routes_to_argmax() {
+        let x = vec![1., 5., 2., 3.];
+        let dx = pool_grad(&x, &[10.0], 1, 2, 2, 2, 2, PoolKind::Max);
+        assert_eq!(dx, vec![0., 10., 0., 0.]);
+        let dxa = pool_grad(&x, &[8.0], 1, 2, 2, 2, 2, PoolKind::Avg);
+        assert_eq!(dxa, vec![2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn misc_grads_and_sgd() {
+        assert_eq!(relu_grad(&[1., -1.], &[5., 5.]), vec![5., 0.]);
+        assert_eq!(bias_grad(&[1., 2., 3., 4.], 2, 2), vec![4., 6.]);
+        let mut w = vec![1.0f32, 2.0];
+        sgd_step(&mut w, &[10.0, -10.0], 0.1);
+        assert_close(&w, &[0.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(out_dim(224, 11, 4, 2), 55); // AlexNet conv1
+        assert_eq!(out_dim(28, 5, 1, 2), 28); // MNIST conv same-pad
+        assert_eq!(out_dim(4, 5, 1, 0), 0); // kernel larger than input
+    }
+}

@@ -1,0 +1,18 @@
+//! The GPU's compute engine.
+//!
+//! Job binaries reference *shader blobs*: bytecode only the GPU (this
+//! module) understands. The software stack emits them through the blackbox
+//! runtime; the recorder and replayer treat them as opaque bytes inside
+//! memory dumps — exactly the paper's proprietary-shader situation.
+//!
+//! * [`bytecode`] — the blob encoding ([`KernelOp`] ⇄ bytes);
+//! * [`kernels`] — the f32 math (convolutions, GEMM, pooling, activations,
+//!   training gradients);
+//! * [`exec`] — runs a decoded op against GPU virtual memory.
+
+pub mod bytecode;
+pub mod exec;
+pub mod kernels;
+
+pub use bytecode::{ActKind, KernelOp, PoolKind};
+pub use exec::{execute, ExecError, VaMem};

@@ -1,0 +1,755 @@
+//! Lowering networks to GPU jobs and running them on the full stack.
+//!
+//! Each framework layer lowers to several GPU jobs, ACL-style on Mali
+//! (weights-prep + im2col staging + fused conv) and ncnn-style on v3d
+//! (pad staging + fused conv). Modeled costs come from the *full-size*
+//! dimensions; the kernels themselves run at the reduced dimensions.
+
+use gr_gpu::machine::Machine;
+use gr_gpu::sku::GpuFamilyKind;
+use gr_gpu::timing::JobCost;
+use gr_gpu::vm::bytecode::{ActKind, KernelOp};
+use gr_gpu::vm::kernels::out_dim;
+use gr_sim::SimRng;
+use gr_stack::driver::DriverError;
+use gr_stack::hooks::RecorderSink;
+use gr_stack::runtime::{Buffer, BufferKind, GpuRuntime, KernelLaunch};
+
+use std::sync::Arc;
+
+use crate::layers::{Dims, LayerSpec, ModelSpec};
+
+/// Fixed modeled framework overhead added to every network's GPU
+/// footprint (contexts, arenas).
+const MODELED_BASE_MEM: u64 = 4 * 1024 * 1024;
+
+/// One lowered framework layer.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Display name ("L03:conv").
+    pub name: String,
+    /// The GPU jobs this layer submits, in order.
+    pub launches: Vec<KernelLaunch>,
+    /// Whether the Fig. 11 fusion pass may merge this layer into its
+    /// predecessor.
+    pub fusable_with_previous: bool,
+}
+
+/// A compiled network bound to GPU buffers.
+#[derive(Debug, Clone)]
+pub struct GpuNetwork {
+    /// Source model name.
+    pub model_name: String,
+    /// Lowered layers.
+    pub layers: Vec<CompiledLayer>,
+    /// Input buffer VA (f32 elements).
+    pub input_va: u64,
+    /// Input element count.
+    pub input_elems: usize,
+    /// Output buffer VA.
+    pub output_va: u64,
+    /// Output element count.
+    pub output_elems: usize,
+    /// Weight/constant uploads performed at compile time `(va, bytes)` —
+    /// the CPU reference executor replays these.
+    pub weight_uploads: Vec<(u64, Vec<u8>)>,
+    /// Modeled full-size GPU memory footprint (Table 6's "GPU Mem").
+    pub modeled_gpu_mem_bytes: u64,
+}
+
+impl GpuNetwork {
+    /// Input length in f32 elements.
+    pub fn input_len(&self) -> usize {
+        self.input_elems
+    }
+
+    /// Output length in f32 elements.
+    pub fn output_len(&self) -> usize {
+        self.output_elems
+    }
+
+    /// Total GPU jobs across all layers.
+    pub fn job_count(&self) -> usize {
+        self.layers.iter().map(|l| l.launches.len()).sum()
+    }
+
+    /// All kernel launches in submission order.
+    pub fn all_launches(&self) -> impl Iterator<Item = &KernelLaunch> {
+        self.layers.iter().flat_map(|l| l.launches.iter())
+    }
+}
+
+struct Lowerer<'m> {
+    rt: &'m mut GpuRuntime,
+    model: &'m ModelSpec,
+    rng: SimRng,
+    weight_uploads: Vec<(u64, Vec<u8>)>,
+    modeled_mem: u64,
+    family: GpuFamilyKind,
+}
+
+/// Parallel actual/full shape tracking.
+#[derive(Debug, Clone, Copy)]
+struct Shapes {
+    actual: Dims,
+    full: Dims,
+}
+
+fn f32_bytes(vals: &[f32]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+impl<'m> Lowerer<'m> {
+    fn alloc(&mut self, elems: u64, kind: BufferKind, full_bytes: u64) -> Result<Buffer, DriverError> {
+        self.modeled_mem += full_bytes;
+        self.rt.alloc_buffer((elems * 4) as usize, kind)
+    }
+
+    /// Allocates a weights buffer, fills it deterministically, uploads it.
+    fn weights(&mut self, label: &str, elems: usize, fan_in: u32) -> Result<Buffer, DriverError> {
+        let buf = self.alloc(elems as u64, BufferKind::Weights, elems as u64 * 4)?;
+        let scale = 1.0 / f32::max(1.0, (fan_in as f32).sqrt());
+        let mut rng = self.rng.fork(label);
+        let vals: Vec<f32> = (0..elems)
+            .map(|_| (rng.unit_f64() as f32 * 2.0 - 1.0) * scale)
+            .collect();
+        let bytes = f32_bytes(&vals);
+        self.rt.write_buffer(&buf, 0, &bytes)?;
+        self.weight_uploads.push((buf.va, bytes));
+        Ok(buf)
+    }
+
+    fn conv_out(d: Dims, cout: u32, k: u32, stride: u32, pad: u32) -> Dims {
+        Dims {
+            c: cout,
+            h: out_dim(d.h, k, stride, pad).max(1),
+            w: out_dim(d.w, k, stride, pad).max(1),
+        }
+    }
+
+    /// Lowers a convolution: returns (jobs, out buffer, out shapes).
+    #[allow(clippy::too_many_arguments)]
+    fn lower_conv(
+        &mut self,
+        idx: usize,
+        x: &Buffer,
+        s: Shapes,
+        cout_full: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+        groups_of_cin: bool,
+        act: ActKind,
+    ) -> Result<(Vec<KernelLaunch>, Buffer, Shapes), DriverError> {
+        let cout_a = if groups_of_cin {
+            s.actual.c
+        } else {
+            self.model.scale_ch(cout_full)
+        };
+        let cout_f = if groups_of_cin { s.full.c } else { cout_full };
+        let groups_a = if groups_of_cin { s.actual.c } else { 1 };
+        let out_a = Self::conv_out(s.actual, cout_a, k, stride, pad);
+        let out_f = Self::conv_out(s.full, cout_f, k, stride, pad);
+        let cing_a = s.actual.c / groups_a;
+        let cing_f = if groups_of_cin { 1 } else { s.full.c };
+
+        let w_elems = (cout_a * cing_a * k * k) as usize;
+        let w_full_bytes = u64::from(cout_f) * u64::from(cing_f) * u64::from(k * k) * 4;
+        let wraw = self.weights(&format!("w{idx}"), w_elems, cing_a * k * k)?;
+        let bias = self.weights(&format!("b{idx}"), cout_a as usize, 1)?;
+        self.modeled_mem += w_full_bytes;
+
+        // The "reshaped" weights the conv job actually reads — produced by
+        // a weights-prep GPU job (ACL reshapes weights on device).
+        let wdev = self.alloc(w_elems as u64, BufferKind::Internal, w_full_bytes)?;
+        let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
+
+        let full_macs = u64::from(cout_f)
+            * u64::from(cing_f)
+            * u64::from(k * k)
+            * u64::from(out_f.h)
+            * u64::from(out_f.w);
+        let mut jobs = Vec::new();
+        jobs.push(KernelLaunch {
+            op: KernelOp::CopyBytes {
+                src: wraw.va,
+                dst: wdev.va,
+                len: (w_elems * 4) as u32,
+            },
+            cost: JobCost {
+                flops: 0,
+                bytes: 2 * w_full_bytes,
+            },
+            kind_key: "copy/wprep".into(),
+            label: format!("L{idx:02}:wprep"),
+        });
+        if k > 1 && self.family == GpuFamilyKind::Mali {
+            // ACL GEMM-conv path: an im2col staging job fills a scratch
+            // patch matrix (the conv job below carries the FLOPs).
+            let cols = out_a.h as u64 * out_a.w as u64 * u64::from(s.actual.c * k * k);
+            let cols_full =
+                u64::from(out_f.h) * u64::from(out_f.w) * u64::from(s.full.c * k * k) * 4;
+            let scratch = self.alloc(cols, BufferKind::Scratch, cols_full)?;
+            jobs.push(KernelLaunch {
+                op: KernelOp::Im2Col {
+                    x: x.va,
+                    out: scratch.va,
+                    cin: s.actual.c,
+                    h: s.actual.h,
+                    wd: s.actual.w,
+                    kh: k,
+                    kw: k,
+                    stride,
+                    pad,
+                },
+                cost: JobCost {
+                    flops: 0,
+                    bytes: s.full.bytes() + cols_full,
+                },
+                kind_key: format!("im2col/k{k}s{stride}"),
+                label: format!("L{idx:02}:im2col"),
+            });
+        } else if k > 1 {
+            // ncnn direct path: pad/stage copy.
+            jobs.push(KernelLaunch {
+                op: KernelOp::CopyBytes {
+                    src: x.va,
+                    dst: x.va,
+                    len: (s.actual.elems() * 4) as u32,
+                },
+                cost: JobCost {
+                    flops: 0,
+                    bytes: 2 * s.full.bytes(),
+                },
+                kind_key: "copy/pad".into(),
+                label: format!("L{idx:02}:pad"),
+            });
+        }
+        jobs.push(KernelLaunch {
+            op: KernelOp::Conv2d {
+                x: x.va,
+                w: wdev.va,
+                bias: bias.va,
+                out: out.va,
+                cin: s.actual.c,
+                h: s.actual.h,
+                wd: s.actual.w,
+                cout: cout_a,
+                kh: k,
+                kw: k,
+                stride,
+                pad,
+                groups: groups_a,
+                act,
+            },
+            cost: JobCost {
+                flops: 2 * full_macs,
+                bytes: w_full_bytes + out_f.bytes(),
+            },
+            kind_key: format!("conv2d/k{k}s{stride}g{}c{cout_a}", groups_a.min(2)),
+            label: format!("L{idx:02}:conv"),
+        });
+        Ok((
+            jobs,
+            out,
+            Shapes {
+                actual: out_a,
+                full: out_f,
+            },
+        ))
+    }
+
+    fn lower_layer(
+        &mut self,
+        idx: usize,
+        layer: &LayerSpec,
+        x: &Buffer,
+        s: Shapes,
+    ) -> Result<(Vec<KernelLaunch>, Buffer, Shapes), DriverError> {
+        match *layer {
+            LayerSpec::Conv { cout, k, stride, pad, act } => {
+                self.lower_conv(idx, x, s, cout, k, stride, pad, false, act)
+            }
+            LayerSpec::DepthwiseConv { k, stride, pad, act } => {
+                self.lower_conv(idx, x, s, 0, k, stride, pad, true, act)
+            }
+            LayerSpec::Pool { win, stride, kind } => {
+                // Clamp the window for heavily reduced actual shapes.
+                let win_a = win.min(s.actual.h).min(s.actual.w).max(1);
+                let stride_a = stride.min(win_a);
+                let out_a = Dims {
+                    c: s.actual.c,
+                    h: out_dim(s.actual.h, win_a, stride_a, 0).max(1),
+                    w: out_dim(s.actual.w, win_a, stride_a, 0).max(1),
+                };
+                let out_f = Dims {
+                    c: s.full.c,
+                    h: out_dim(s.full.h, win, stride, 0).max(1),
+                    w: out_dim(s.full.w, win, stride, 0).max(1),
+                };
+                let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
+                let jobs = vec![KernelLaunch {
+                    op: KernelOp::Pool2d {
+                        x: x.va,
+                        out: out.va,
+                        c: s.actual.c,
+                        h: s.actual.h,
+                        wd: s.actual.w,
+                        win: win_a,
+                        stride: stride_a,
+                        kind,
+                    },
+                    cost: JobCost {
+                        flops: out_f.elems() * u64::from(win * win),
+                        bytes: s.full.bytes() + out_f.bytes(),
+                    },
+                    kind_key: format!("pool/w{win}s{stride}"),
+                    label: format!("L{idx:02}:pool"),
+                }];
+                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+            }
+            LayerSpec::FullyConnected { out: out_full, act } => {
+                let in_a = s.actual.elems() as u32;
+                let in_f = s.full.elems();
+                let out_a_n = self.model.scale_ch(out_full);
+                let w = self.weights(&format!("w{idx}"), (in_a * out_a_n) as usize, in_a)?;
+                let b = self.weights(&format!("b{idx}"), out_a_n as usize, 1)?;
+                self.modeled_mem += in_f * u64::from(out_full) * 4;
+                // Staging copy (flatten/reshape job), then the GEMM.
+                let stage = self.alloc(u64::from(in_a), BufferKind::Scratch, in_f * 4)?;
+                let out = self.alloc(u64::from(out_a_n), BufferKind::Internal, u64::from(out_full) * 4)?;
+                let jobs = vec![
+                    KernelLaunch {
+                        op: KernelOp::CopyBytes {
+                            src: x.va,
+                            dst: stage.va,
+                            len: in_a * 4,
+                        },
+                        cost: JobCost { flops: 0, bytes: 2 * in_f * 4 },
+                        kind_key: "copy/flatten".into(),
+                        label: format!("L{idx:02}:flatten"),
+                    },
+                    KernelLaunch {
+                        op: KernelOp::FullyConnected {
+                            x: stage.va,
+                            w: w.va,
+                            bias: b.va,
+                            out: out.va,
+                            m: 1,
+                            k: in_a,
+                            n: out_a_n,
+                            act,
+                        },
+                        cost: JobCost {
+                            flops: 2 * in_f * u64::from(out_full),
+                            bytes: in_f * u64::from(out_full) * 4 / 16,
+                        },
+                        kind_key: format!("fc/n{out_a_n}"),
+                        label: format!("L{idx:02}:fc"),
+                    },
+                ];
+                let dims_a = Dims { c: out_a_n, h: 1, w: 1 };
+                let dims_f = Dims { c: out_full, h: 1, w: 1 };
+                Ok((jobs, out, Shapes { actual: dims_a, full: dims_f }))
+            }
+            LayerSpec::Softmax => {
+                let n_a = s.actual.elems() as u32;
+                let out = self.alloc(u64::from(n_a), BufferKind::Internal, s.full.bytes())?;
+                let jobs = vec![KernelLaunch {
+                    op: KernelOp::Softmax {
+                        x: x.va,
+                        out: out.va,
+                        rows: 1,
+                        cols: n_a,
+                    },
+                    cost: JobCost {
+                        flops: 4 * s.full.elems(),
+                        bytes: 2 * s.full.bytes(),
+                    },
+                    kind_key: "softmax".into(),
+                    label: format!("L{idx:02}:softmax"),
+                }];
+                Ok((jobs, out, s))
+            }
+            LayerSpec::Norm => {
+                let scale = self.weights(&format!("ns{idx}"), s.actual.c as usize, 1)?;
+                let shift = self.weights(&format!("nh{idx}"), s.actual.c as usize, 1)?;
+                let out = self.alloc(s.actual.elems(), BufferKind::Internal, s.full.bytes())?;
+                let jobs = vec![KernelLaunch {
+                    op: KernelOp::BatchNormInf {
+                        x: x.va,
+                        out: out.va,
+                        scale: scale.va,
+                        shift: shift.va,
+                        c: s.actual.c,
+                        hw: s.actual.h * s.actual.w,
+                    },
+                    cost: JobCost {
+                        flops: 2 * s.full.elems(),
+                        bytes: 2 * s.full.bytes(),
+                    },
+                    kind_key: "norm".into(),
+                    label: format!("L{idx:02}:norm"),
+                }];
+                Ok((jobs, out, s))
+            }
+            LayerSpec::Upsample => {
+                let out_a = Dims { c: s.actual.c, h: s.actual.h * 2, w: s.actual.w * 2 };
+                let out_f = Dims { c: s.full.c, h: s.full.h * 2, w: s.full.w * 2 };
+                let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
+                let jobs = vec![KernelLaunch {
+                    op: KernelOp::Upsample2x {
+                        x: x.va,
+                        out: out.va,
+                        c: s.actual.c,
+                        h: s.actual.h,
+                        wd: s.actual.w,
+                    },
+                    cost: JobCost {
+                        flops: out_f.elems(),
+                        bytes: s.full.bytes() + out_f.bytes(),
+                    },
+                    kind_key: "upsample".into(),
+                    label: format!("L{idx:02}:upsample"),
+                }];
+                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+            }
+            LayerSpec::Fire { squeeze, expand } => {
+                // squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat.
+                let (mut jobs, sq_buf, sq_s) =
+                    self.lower_conv(idx, x, s, squeeze, 1, 1, 0, false, ActKind::Relu)?;
+                let (j1, e1_buf, e1_s) =
+                    self.lower_conv(idx, &sq_buf, sq_s, expand, 1, 1, 0, false, ActKind::Relu)?;
+                jobs.extend(j1);
+                let (j3, e3_buf, e3_s) =
+                    self.lower_conv(idx, &sq_buf, sq_s, expand, 3, 1, 1, false, ActKind::Relu)?;
+                jobs.extend(j3);
+                debug_assert_eq!(e1_s.actual.h, e3_s.actual.h);
+                let out_a = Dims { c: e1_s.actual.c + e3_s.actual.c, h: e1_s.actual.h, w: e1_s.actual.w };
+                let out_f = Dims { c: e1_s.full.c + e3_s.full.c, h: e1_s.full.h, w: e1_s.full.w };
+                let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
+                jobs.push(KernelLaunch {
+                    op: KernelOp::Concat2 {
+                        a: e1_buf.va,
+                        na: e1_s.actual.elems() as u32,
+                        b: e3_buf.va,
+                        nb: e3_s.actual.elems() as u32,
+                        out: out.va,
+                    },
+                    cost: JobCost { flops: 0, bytes: 2 * out_f.bytes() },
+                    kind_key: "concat".into(),
+                    label: format!("L{idx:02}:concat"),
+                });
+                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+            }
+            LayerSpec::Residual { cout, stride } => {
+                let (mut jobs, c1_buf, c1_s) =
+                    self.lower_conv(idx, x, s, cout, 3, stride, 1, false, ActKind::Relu)?;
+                let (j2, c2_buf, c2_s) =
+                    self.lower_conv(idx, &c1_buf, c1_s, cout, 3, 1, 1, false, ActKind::None)?;
+                jobs.extend(j2);
+                // Skip path: identity, or 1x1 projection when shape changes.
+                let (skip_buf, skip_s) = if stride != 1 || s.actual.c != c2_s.actual.c {
+                    let (jp, pb, ps) =
+                        self.lower_conv(idx, x, s, cout, 1, stride, 0, false, ActKind::None)?;
+                    jobs.extend(jp);
+                    (pb, ps)
+                } else {
+                    (*x, s)
+                };
+                debug_assert_eq!(skip_s.actual.elems(), c2_s.actual.elems());
+                let out = self.alloc(c2_s.actual.elems(), BufferKind::Internal, c2_s.full.bytes())?;
+                jobs.push(KernelLaunch {
+                    op: KernelOp::EltwiseAdd {
+                        a: c2_buf.va,
+                        b: skip_buf.va,
+                        out: out.va,
+                        n: c2_s.actual.elems() as u32,
+                        act: ActKind::Relu,
+                    },
+                    cost: JobCost {
+                        flops: c2_s.full.elems(),
+                        bytes: 3 * c2_s.full.bytes(),
+                    },
+                    kind_key: "eltadd".into(),
+                    label: format!("L{idx:02}:add"),
+                });
+                Ok((jobs, out, c2_s))
+            }
+        }
+    }
+}
+
+/// Runs networks on the full GPU stack.
+pub struct GpuExecutor {
+    rt: GpuRuntime,
+}
+
+impl std::fmt::Debug for GpuExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuExecutor").finish()
+    }
+}
+
+impl GpuExecutor {
+    /// Creates the runtime context (stack startup begins here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver probe failures.
+    pub fn create(
+        machine: Machine,
+        sync: bool,
+        hooks: Option<Arc<dyn RecorderSink>>,
+    ) -> Result<Self, DriverError> {
+        Ok(GpuExecutor {
+            rt: GpuRuntime::create(machine, sync, hooks)?,
+        })
+    }
+
+    /// The machine underneath.
+    pub fn machine(&self) -> Machine {
+        self.rt.machine().clone()
+    }
+
+    /// The runtime (for RSS/job accounting).
+    pub fn runtime(&self) -> &GpuRuntime {
+        &self.rt
+    }
+
+    /// Mutable runtime access (cache flush etc.).
+    pub fn runtime_mut(&mut self) -> &mut GpuRuntime {
+        &mut self.rt
+    }
+
+    /// Compiles `model`: allocates buffers, uploads deterministic weights
+    /// (seeded by `seed`), JIT-compiles every kernel variant, and builds
+    /// the per-layer job lists. This is the startup phase Fig. 6 measures.
+    ///
+    /// # Errors
+    ///
+    /// Fails when GPU memory runs out.
+    pub fn compile(&mut self, model: &ModelSpec, seed: u64) -> Result<GpuNetwork, DriverError> {
+        let family = self.rt.machine().sku().family;
+        let input_a = model.actual_input();
+        let input_f = model.input;
+        let input_buf = self.rt.alloc_buffer((input_a.elems() * 4) as usize, BufferKind::Data)?;
+
+        let mut low = Lowerer {
+            rt: &mut self.rt,
+            model,
+            rng: SimRng::seed_from(seed).fork(model.name),
+            weight_uploads: Vec::new(),
+            modeled_mem: MODELED_BASE_MEM + input_f.bytes(),
+            family,
+        };
+
+        let mut layers = Vec::with_capacity(model.layers.len());
+        let mut cur_buf = input_buf;
+        let mut cur_s = Shapes {
+            actual: input_a,
+            full: input_f,
+        };
+        for (idx, layer) in model.layers.iter().enumerate() {
+            let (launches, out, s) = low.lower_layer(idx, layer, &cur_buf, cur_s)?;
+            layers.push(CompiledLayer {
+                name: format!("L{idx:02}:{}", layer.mnemonic()),
+                launches,
+                fusable_with_previous: layer.fusable_with_previous(),
+            });
+            cur_buf = out;
+            cur_s = s;
+        }
+        let weight_uploads = std::mem::take(&mut low.weight_uploads);
+        let modeled = (low.modeled_mem as f64 * 1.25) as u64;
+
+        // Final activation must be CPU-extractable: copy into a Data
+        // buffer as the network's last job (frameworks stage outputs too).
+        let out_elems = cur_s.actual.elems();
+        let out_buf = self.rt.alloc_buffer((out_elems * 4) as usize, BufferKind::Data)?;
+        let extract = KernelLaunch {
+            op: KernelOp::CopyBytes {
+                src: cur_buf.va,
+                dst: out_buf.va,
+                len: (out_elems * 4) as u32,
+            },
+            cost: JobCost {
+                flops: 0,
+                bytes: 2 * cur_s.full.bytes(),
+            },
+            kind_key: "copy/out".into(),
+            label: "out:copy".into(),
+        };
+        layers
+            .last_mut()
+            .expect("models have at least one layer")
+            .launches
+            .push(extract);
+
+        // ACL configures (JIT-compiles) all kernels while building the
+        // network — charge it now, inside the startup window.
+        let keys: Vec<String> = layers
+            .iter()
+            .flat_map(|l| l.launches.iter().map(|k| k.kind_key.clone()))
+            .collect();
+        for key in keys {
+            self.rt.prejit(&key);
+        }
+
+        Ok(GpuNetwork {
+            model_name: model.name.to_string(),
+            layers,
+            input_va: input_buf.va,
+            input_elems: input_a.elems() as usize,
+            output_va: out_buf.va,
+            output_elems: out_elems as usize,
+            weight_uploads,
+            modeled_gpu_mem_bytes: modeled,
+        })
+    }
+
+    /// Writes the network input.
+    ///
+    /// # Errors
+    ///
+    /// Fails on size mismatch.
+    pub fn write_input(&mut self, net: &GpuNetwork, input: &[f32]) -> Result<(), DriverError> {
+        if input.len() != net.input_elems {
+            return Err(DriverError::BadState("input size mismatch"));
+        }
+        let buf = Buffer {
+            va: net.input_va,
+            len: input.len() * 4,
+        };
+        self.rt.write_buffer(&buf, 0, &f32_bytes(input))
+    }
+
+    /// Submits every job of layer `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates job faults.
+    pub fn run_layer(&mut self, net: &GpuNetwork, idx: usize) -> Result<(), DriverError> {
+        for launch in &net.layers[idx].launches {
+            self.rt.launch(launch)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the network output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn read_output(&mut self, net: &GpuNetwork) -> Result<Vec<f32>, DriverError> {
+        let buf = Buffer {
+            va: net.output_va,
+            len: net.output_elems * 4,
+        };
+        let mut bytes = vec![0u8; net.output_elems * 4];
+        self.rt.read_buffer(&buf, 0, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect())
+    }
+
+    /// Full inference: input → all layers → output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates job faults.
+    pub fn infer(&mut self, net: &GpuNetwork, input: &[f32]) -> Result<Vec<f32>, DriverError> {
+        self.write_input(net, input)?;
+        for idx in 0..net.layers.len() {
+            self.run_layer(net, idx)?;
+        }
+        self.rt.finish()?;
+        self.read_output(net)
+    }
+
+    /// Releases the context (GPU powered down).
+    pub fn release(self) {
+        self.rt.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use gr_gpu::sku::{MALI_G71, V3D_RPI4};
+
+    fn random_input(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| rng.unit_f64() as f32).collect()
+    }
+
+    #[test]
+    fn mnist_inference_produces_a_distribution() {
+        let machine = Machine::new(&MALI_G71, 42);
+        let mut exec = GpuExecutor::create(machine, true, None).unwrap();
+        let net = exec.compile(&models::mnist(), 7).unwrap();
+        assert_eq!(net.output_len(), 10);
+        assert!(net.job_count() >= 6, "jobs = {}", net.job_count());
+        let out = exec.infer(&net, &random_input(net.input_len(), 3)).unwrap();
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sums to 1, got {sum}");
+        assert!(out.iter().all(|v| v.is_finite() && *v >= 0.0));
+        exec.release();
+    }
+
+    #[test]
+    fn mnist_runs_on_v3d_too() {
+        let machine = Machine::new(&V3D_RPI4, 42);
+        let mut exec = GpuExecutor::create(machine, true, None).unwrap();
+        let net = exec.compile(&models::mnist(), 7).unwrap();
+        let out = exec.infer(&net, &random_input(net.input_len(), 3)).unwrap();
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        exec.release();
+    }
+
+    #[test]
+    fn different_inputs_different_outputs() {
+        let machine = Machine::new(&MALI_G71, 42);
+        let mut exec = GpuExecutor::create(machine, true, None).unwrap();
+        let net = exec.compile(&models::mnist(), 7).unwrap();
+        let a = exec.infer(&net, &random_input(net.input_len(), 1)).unwrap();
+        let b = exec.infer(&net, &random_input(net.input_len(), 2)).unwrap();
+        assert_ne!(a, b);
+        exec.release();
+    }
+
+    #[test]
+    fn squeezenet_and_resnet_structures_lower() {
+        let machine = Machine::new(&MALI_G71, 42);
+        let mut exec = GpuExecutor::create(machine, true, None).unwrap();
+        for model in [models::squeezenet(), models::resnet12()] {
+            let net = exec.compile(&model, 7).unwrap();
+            assert!(net.job_count() > model.layer_count(), "{}", model.name);
+            let out = exec.infer(&net, &random_input(net.input_len(), 5)).unwrap();
+            assert!(out.iter().all(|v| v.is_finite()), "{} non-finite", model.name);
+        }
+        exec.release();
+    }
+
+    #[test]
+    fn modeled_memory_ranks_models_like_table6() {
+        let machine = Machine::new(&MALI_G71, 42);
+        let mut exec = GpuExecutor::create(machine, true, None).unwrap();
+        let mnist = exec.compile(&models::mnist(), 7).unwrap();
+        let vgg = exec.compile(&models::vgg16(), 7).unwrap();
+        assert!(
+            vgg.modeled_gpu_mem_bytes > 100 * mnist.modeled_gpu_mem_bytes,
+            "VGG {} vs MNIST {}",
+            vgg.modeled_gpu_mem_bytes,
+            mnist.modeled_gpu_mem_bytes
+        );
+        exec.release();
+    }
+}

@@ -1,0 +1,123 @@
+//! Recording granularity groupings (Fig. 11).
+//!
+//! The paper studies three ways to slice a workload into recordings: one
+//! monolithic recording per NN (efficient), one per NN layer (composable),
+//! and one per *fused* layer (ACL-style fusion; the recommended middle
+//! ground). These functions compute the layer-index groups; the record
+//! harness turns each group into one recording.
+
+use crate::exec::GpuNetwork;
+
+/// A recording granularity choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One recording for the whole network.
+    WholeNn,
+    /// One recording per fused layer group.
+    PerFusedLayer,
+    /// One recording per framework layer.
+    PerLayer,
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Granularity::WholeNn => write!(f, "WholeNN"),
+            Granularity::PerFusedLayer => write!(f, "PerFusedLayer"),
+            Granularity::PerLayer => write!(f, "PerLayer"),
+        }
+    }
+}
+
+/// Returns the layer-index groups for `granularity`; each group becomes
+/// one recording.
+pub fn groups(net: &GpuNetwork, granularity: Granularity) -> Vec<Vec<usize>> {
+    match granularity {
+        Granularity::WholeNn => vec![(0..net.layers.len()).collect()],
+        Granularity::PerLayer => (0..net.layers.len()).map(|i| vec![i]).collect(),
+        Granularity::PerFusedLayer => {
+            let mut out: Vec<Vec<usize>> = Vec::new();
+            for (i, layer) in net.layers.iter().enumerate() {
+                if layer.fusable_with_previous && !out.is_empty() {
+                    out.last_mut().expect("non-empty checked").push(i);
+                } else {
+                    out.push(vec![i]);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::CompiledLayer;
+
+    fn fake_net(fusable: &[bool]) -> GpuNetwork {
+        GpuNetwork {
+            model_name: "fake".into(),
+            layers: fusable
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| CompiledLayer {
+                    name: format!("L{i}"),
+                    launches: vec![],
+                    fusable_with_previous: f,
+                })
+                .collect(),
+            input_va: 0,
+            input_elems: 0,
+            output_va: 0,
+            output_elems: 0,
+            weight_uploads: vec![],
+            modeled_gpu_mem_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn whole_nn_is_one_group() {
+        let net = fake_net(&[false, true, false]);
+        assert_eq!(groups(&net, Granularity::WholeNn), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn per_layer_is_singletons() {
+        let net = fake_net(&[false, true, false]);
+        assert_eq!(
+            groups(&net, Granularity::PerLayer),
+            vec![vec![0], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn fused_merges_pool_and_softmax_into_compute() {
+        // conv, pool(fusable), conv, softmax(fusable) -> 2 groups.
+        let net = fake_net(&[false, true, false, true]);
+        assert_eq!(
+            groups(&net, Granularity::PerFusedLayer),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn leading_fusable_layer_starts_its_own_group() {
+        let net = fake_net(&[true, false]);
+        assert_eq!(
+            groups(&net, Granularity::PerFusedLayer),
+            vec![vec![0], vec![1]]
+        );
+    }
+
+    #[test]
+    fn group_counts_are_ordered_like_fig11() {
+        let net = fake_net(&[false, true, false, true, false, true, true]);
+        let whole = groups(&net, Granularity::WholeNn).len();
+        let fused = groups(&net, Granularity::PerFusedLayer).len();
+        let per = groups(&net, Granularity::PerLayer).len();
+        assert!(whole <= fused && fused <= per);
+        assert_eq!(whole, 1);
+        assert_eq!(per, 7);
+        assert_eq!(Granularity::PerFusedLayer.to_string(), "PerFusedLayer");
+    }
+}

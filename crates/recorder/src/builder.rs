@@ -1,0 +1,350 @@
+//! Turning raw event streams into replayable recordings.
+//!
+//! Applies the paper's §4 transformations: poll loops become tolerant
+//! `RegReadWait` actions; memory dumps become `Upload`s; the GPU-idle
+//! heuristic zeroes skippable inter-action intervals (§4.5); discovered
+//! I/O becomes `CopyToGpu`/`CopyFromGpu` placed so input injection happens
+//! after the first dump load but before the first job kick.
+
+use gr_gpu::GpuSku;
+use gr_recording::{Action, Dump, IoSlot, Recording, RecordingMeta, TimedAction};
+use gr_sim::SimTime;
+use gr_soc::PAGE_SIZE;
+use gr_stack::hooks::RegionSnapshot;
+
+use crate::sink::{RawEvent, TimedRaw};
+
+/// Configuration for one recording build.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// SKU the workload was recorded on.
+    pub sku: &'static GpuSku,
+    /// Recording label.
+    pub label: String,
+    /// Apply the §4.5 idle-interval skip (Fig. 10 ablates this).
+    pub skip_idle_intervals: bool,
+    /// Modeled full-size GPU memory (Table 6 reporting).
+    pub modeled_gpu_mem_bytes: u64,
+}
+
+/// Busy spans extracted from `GpuPhase` events.
+fn busy_spans(events: &[&TimedRaw]) -> Vec<(SimTime, SimTime)> {
+    let mut spans = Vec::new();
+    let mut open: Option<SimTime> = None;
+    for e in events {
+        if let RawEvent::GpuPhase { busy } = e.event {
+            if busy {
+                open.get_or_insert(e.at);
+            } else if let Some(start) = open.take() {
+                spans.push((start, e.at));
+            }
+        }
+    }
+    if let Some(start) = open {
+        spans.push((start, SimTime::MAX));
+    }
+    spans
+}
+
+fn overlaps_busy(spans: &[(SimTime, SimTime)], a: SimTime, b: SimTime) -> bool {
+    spans.iter().any(|&(s, e)| s < b && a < e)
+}
+
+/// Merges per-page dumps into contiguous [`Dump`] runs.
+fn merge_pages(pages: &[(u64, Vec<u8>)]) -> Vec<Dump> {
+    let mut out: Vec<Dump> = Vec::new();
+    for (va, bytes) in pages {
+        match out.last_mut() {
+            Some(last) if last.va + last.bytes.len() as u64 == *va => {
+                last.bytes.extend_from_slice(bytes);
+            }
+            _ => out.push(Dump {
+                va: *va,
+                bytes: bytes.clone(),
+            }),
+        }
+    }
+    out
+}
+
+/// Builds one recording from a prologue (bring-up register interactions),
+/// the set of regions live at the group start, and the group's raw events.
+///
+/// `inputs`/`outputs` are the taint-discovered (or annotated) I/O slots.
+pub fn build_recording(
+    cfg: &BuildConfig,
+    prologue: &[TimedRaw],
+    live_regions: &[RegionSnapshot],
+    group: &[TimedRaw],
+    inputs: Vec<IoSlot>,
+    outputs: Vec<IoSlot>,
+) -> Recording {
+    let mut meta = RecordingMeta::new(
+        &cfg.sku.family.to_string(),
+        cfg.sku.name,
+        cfg.sku.gpu_id,
+        &cfg.label,
+    );
+    meta.modeled_gpu_mem_bytes = cfg.modeled_gpu_mem_bytes;
+    let mut rec = Recording::new(meta);
+    rec.inputs = inputs;
+    rec.outputs = outputs;
+
+    let all: Vec<&TimedRaw> = prologue.iter().chain(group.iter()).collect();
+    let spans = busy_spans(&all);
+
+    let mut regio = 0u32;
+    let mut jobs = 0u32;
+    let mut peak_pages = live_regions.iter().map(|r| r.pages as u64).sum::<u64>();
+    let mut prev_at: Option<SimTime> = None;
+    let mut inputs_pending = !rec.inputs.is_empty();
+    let mut first_dump_seen = false;
+
+    let push = |rec: &mut Recording, prev_at: &mut Option<SimTime>, at: SimTime, action: Action| {
+        let interval = match *prev_at {
+            Some(p) if at > p => {
+                let gap = at - p;
+                if cfg.skip_idle_intervals && !overlaps_busy(&spans, p, at) {
+                    0
+                } else {
+                    gap.as_nanos()
+                }
+            }
+            _ => 0,
+        };
+        *prev_at = Some(at);
+        rec.actions.push(TimedAction {
+            action,
+            min_interval_ns: interval,
+        });
+    };
+
+    // Prologue: register interactions only (maps are synthesized below
+    // from the live-region set, which already reflects them).
+    for e in prologue {
+        match &e.event {
+            RawEvent::RegWrite { reg, val } => {
+                regio += 1;
+                push(&mut rec, &mut prev_at, e.at, Action::RegWrite { reg: *reg, mask: u32::MAX, val: *val });
+            }
+            RawEvent::RegRead { reg, val } => {
+                regio += 1;
+                push(&mut rec, &mut prev_at, e.at, Action::RegReadOnce { reg: *reg, expect: *val, ignore: false });
+            }
+            RawEvent::Poll { reg, mask, val, polls, timeout } => {
+                regio += polls;
+                push(&mut rec, &mut prev_at, e.at, Action::RegReadWait {
+                    reg: *reg,
+                    mask: *mask,
+                    val: *val,
+                    timeout_ns: timeout.as_nanos(),
+                });
+            }
+            RawEvent::PgtableSet => {
+                push(&mut rec, &mut prev_at, e.at, Action::SetGpuPgtable);
+            }
+            RawEvent::WaitIrq { line, timeout } => {
+                push(&mut rec, &mut prev_at, e.at, Action::WaitIrq { line: *line, timeout_ns: timeout.as_nanos() });
+            }
+            RawEvent::IrqCtx { enter } => {
+                push(&mut rec, &mut prev_at, e.at, Action::IrqContext { enter: *enter });
+            }
+            _ => {}
+        }
+    }
+
+    // Synthesized mappings: everything live at group start.
+    for r in live_regions {
+        let at = prev_at.unwrap_or(SimTime::ZERO);
+        push(&mut rec, &mut prev_at, at, Action::MapGpuMem {
+            va: r.va,
+            pte_flags: r.pte_flags.clone(),
+        });
+    }
+
+    // The group's events.
+    for e in group {
+        match &e.event {
+            RawEvent::RegWrite { reg, val } => {
+                regio += 1;
+                push(&mut rec, &mut prev_at, e.at, Action::RegWrite { reg: *reg, mask: u32::MAX, val: *val });
+            }
+            RawEvent::RegRead { reg, val } => {
+                regio += 1;
+                push(&mut rec, &mut prev_at, e.at, Action::RegReadOnce { reg: *reg, expect: *val, ignore: false });
+            }
+            RawEvent::Poll { reg, mask, val, polls, timeout } => {
+                regio += polls;
+                push(&mut rec, &mut prev_at, e.at, Action::RegReadWait {
+                    reg: *reg,
+                    mask: *mask,
+                    val: *val,
+                    timeout_ns: timeout.as_nanos(),
+                });
+            }
+            RawEvent::WaitIrq { line, timeout } => {
+                push(&mut rec, &mut prev_at, e.at, Action::WaitIrq { line: *line, timeout_ns: timeout.as_nanos() });
+            }
+            RawEvent::IrqCtx { enter } => {
+                push(&mut rec, &mut prev_at, e.at, Action::IrqContext { enter: *enter });
+            }
+            RawEvent::PgtableSet => {
+                push(&mut rec, &mut prev_at, e.at, Action::SetGpuPgtable);
+            }
+            RawEvent::Map { va, pte_flags, .. } => {
+                push(&mut rec, &mut prev_at, e.at, Action::MapGpuMem {
+                    va: *va,
+                    pte_flags: pte_flags.clone(),
+                });
+            }
+            RawEvent::Unmap { va } => {
+                push(&mut rec, &mut prev_at, e.at, Action::UnmapGpuMem { va: *va });
+            }
+            RawEvent::JobDump { pages, mapped_pages } => {
+                jobs += 1;
+                peak_pages = peak_pages.max(*mapped_pages);
+                for dump in merge_pages(pages) {
+                    let idx = rec.dumps.len() as u32;
+                    rec.dumps.push(dump);
+                    push(&mut rec, &mut prev_at, e.at, Action::Upload { dump_idx: idx });
+                }
+                if inputs_pending && !first_dump_seen {
+                    // Inject app input after the first dump load (so the
+                    // dump cannot clobber it) and before the job kick.
+                    for slot in 0..rec.inputs.len() as u32 {
+                        push(&mut rec, &mut prev_at, e.at, Action::CopyToGpu { slot });
+                    }
+                    inputs_pending = false;
+                }
+                first_dump_seen = true;
+            }
+            RawEvent::GpuPhase { .. } => {}
+        }
+    }
+
+    // Output extraction at the very end.
+    let end_at = prev_at.unwrap_or(SimTime::ZERO);
+    for slot in 0..rec.outputs.len() as u32 {
+        push(&mut rec, &mut prev_at, end_at, Action::CopyFromGpu { slot });
+    }
+
+    // Gaps spanning a WaitIrq are event-synchronized (the IRQ itself
+    // paces the replay); converting them into time pacing would replay
+    // the *record-time* job duration, defeating faster replay hardware.
+    for i in 1..rec.actions.len() {
+        if matches!(rec.actions[i - 1].action, Action::WaitIrq { .. }) {
+            rec.actions[i].min_interval_ns = 0;
+        }
+    }
+    rec.meta.job_count = jobs;
+    rec.meta.regio_count = regio;
+    rec.meta.peak_mapped_pages = peak_pages;
+    rec
+}
+
+/// Total dumped pages of a recording (diagnostics).
+pub fn dumped_pages(rec: &Recording) -> usize {
+    rec.dumps.iter().map(|d| d.bytes.len() / PAGE_SIZE).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::MALI_G71;
+    use gr_sim::SimDuration;
+
+    fn ev(at_ns: u64, event: RawEvent) -> TimedRaw {
+        TimedRaw {
+            at: SimTime::from_nanos(at_ns),
+            event,
+        }
+    }
+
+    fn cfg(skip: bool) -> BuildConfig {
+        BuildConfig {
+            sku: &MALI_G71,
+            label: "test".into(),
+            skip_idle_intervals: skip,
+            modeled_gpu_mem_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn idle_intervals_are_skipped_busy_preserved() {
+        let group = vec![
+            ev(0, RawEvent::RegWrite { reg: 0x18, val: 1 }),
+            // 1 ms idle gap (e.g. JIT) — skippable.
+            ev(1_000_000, RawEvent::GpuPhase { busy: true }),
+            ev(1_000_000, RawEvent::RegWrite { reg: 0x2020, val: 1 }),
+            // 500 µs gap overlapping the busy span — preserved.
+            ev(1_500_000, RawEvent::RegRead { reg: 0x2024, val: 2 }),
+            ev(1_500_000, RawEvent::GpuPhase { busy: false }),
+        ];
+        let rec = build_recording(&cfg(true), &[], &[], &group, vec![], vec![]);
+        assert_eq!(rec.actions.len(), 3);
+        assert_eq!(rec.actions[1].min_interval_ns, 0, "idle gap skipped");
+        assert_eq!(rec.actions[2].min_interval_ns, 500_000, "busy gap preserved");
+
+        let rec2 = build_recording(&cfg(false), &[], &[], &group, vec![], vec![]);
+        assert_eq!(rec2.actions[1].min_interval_ns, 1_000_000, "ablation keeps it");
+    }
+
+    #[test]
+    fn dumps_become_uploads_and_inputs_follow_first_dump() {
+        let page = vec![7u8; PAGE_SIZE];
+        let group = vec![
+            ev(0, RawEvent::JobDump {
+                pages: vec![(0x1000, page.clone()), (0x2000, page.clone()), (0x9000, page)],
+                mapped_pages: 3,
+            }),
+            ev(10, RawEvent::RegWrite { reg: 0x2020, val: 1 }),
+        ];
+        let inputs = vec![IoSlot { name: "in".into(), va: 0x9000, len: 64 }];
+        let rec = build_recording(&cfg(true), &[], &[], &group, inputs, vec![]);
+        // Contiguous pages 0x1000+0x2000 merge; 0x9000 separate.
+        assert_eq!(rec.dumps.len(), 2);
+        assert_eq!(rec.dumps[0].bytes.len(), 2 * PAGE_SIZE);
+        let tags: Vec<u8> = rec.actions.iter().map(|a| a.action.tag()).collect();
+        // Upload, Upload, CopyToGpu, RegWrite.
+        assert_eq!(tags, vec![7, 7, 8, 3]);
+        assert_eq!(rec.meta.job_count, 1);
+        assert_eq!(dumped_pages(&rec), 3);
+    }
+
+    #[test]
+    fn prologue_polls_summarize_and_count_regio() {
+        let prologue = vec![
+            ev(0, RawEvent::RegWrite { reg: 0x18, val: 1 }),
+            ev(100, RawEvent::Poll {
+                reg: 8,
+                mask: 0x100,
+                val: 0x100,
+                polls: 37,
+                timeout: SimDuration::from_millis(50),
+            }),
+        ];
+        let rec = build_recording(&cfg(true), &prologue, &[], &[], vec![], vec![]);
+        assert_eq!(rec.meta.regio_count, 38);
+        assert!(matches!(
+            rec.actions[1].action,
+            Action::RegReadWait { reg: 8, mask: 0x100, val: 0x100, timeout_ns: 50_000_000 }
+        ));
+    }
+
+    #[test]
+    fn live_regions_synthesize_maps() {
+        let regions = vec![RegionSnapshot {
+            va: 0x40_0000,
+            pages: 2,
+            kind: gr_stack::driver::RegionKind::Data,
+            pte_flags: vec![0xB, 0xB],
+            pas: vec![0, 4096],
+        }];
+        let rec = build_recording(&cfg(true), &[], &regions, &[], vec![], vec![]);
+        assert!(matches!(
+            &rec.actions[0].action,
+            Action::MapGpuMem { va: 0x40_0000, pte_flags } if pte_flags.len() == 2
+        ));
+        assert_eq!(rec.meta.peak_mapped_pages, 2);
+    }
+}

@@ -1,0 +1,421 @@
+//! The record harness — what a developer runs at development time (§3.1).
+//!
+//! Drives the full stack with the recorder attached, injects magic inputs
+//! for taint discovery, slices the workload at the requested granularity,
+//! and emits self-contained recordings.
+
+use std::sync::Arc;
+
+use gr_gpu::machine::Machine;
+use gr_gpu::timing::JobCost;
+use gr_gpu::vm::bytecode::{ActKind, KernelOp};
+use gr_mlfw::exec::{GpuExecutor, GpuNetwork};
+use gr_mlfw::fusion::{self, Granularity};
+use gr_mlfw::layers::ModelSpec;
+use gr_mlfw::train::TrainSession;
+use gr_recording::{IoSlot, Recording};
+use gr_sim::SimRng;
+use gr_stack::driver::DriverError;
+use gr_stack::runtime::{BufferKind, KernelLaunch};
+
+use crate::builder::{build_recording, BuildConfig};
+use crate::sink::{RawEvent, Recorder};
+use crate::taint;
+
+/// Inference recordings plus the compiled network (kept for CPU-reference
+/// validation) and the discovered I/O addresses.
+pub struct InferenceRecordings {
+    /// One recording per granularity group, in execution order.
+    pub recordings: Vec<Recording>,
+    /// The compiled network (op list + weights) for validation.
+    pub net: GpuNetwork,
+    /// Discovered input VA (must equal `net.input_va`).
+    pub input_va: u64,
+    /// Discovered output VA (must equal `net.output_va`).
+    pub output_va: u64,
+}
+
+/// A recorded training iteration.
+pub struct TrainingRecording {
+    /// The per-iteration recording (weights in + out by address).
+    pub recording: Recording,
+    /// Initial weight bytes `(va, bytes)` for seeding replays.
+    pub initial_weights: Vec<(u64, Vec<u8>)>,
+    /// Loss observed during the record run.
+    pub record_loss: f32,
+}
+
+/// Records workloads end to end.
+pub struct RecordHarness {
+    machine: Machine,
+    recorder: Arc<Recorder>,
+    exec: GpuExecutor,
+    prologue_end: usize,
+    /// Apply §4.5 interval skipping (Fig. 10 ablates with `false`).
+    pub skip_idle_intervals: bool,
+}
+
+impl std::fmt::Debug for RecordHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordHarness")
+            .field("sku", &self.machine.sku().name)
+            .finish()
+    }
+}
+
+impl RecordHarness {
+    /// Brings up the full stack with the recorder attached (synchronous
+    /// submission enforced, per §2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack bring-up failures.
+    pub fn new(machine: Machine) -> Result<Self, DriverError> {
+        let recorder = Recorder::new(machine.clock().clone(), machine.sku());
+        let exec = GpuExecutor::create(machine.clone(), true, Some(recorder.clone()))?;
+        let prologue_end = recorder.mark();
+        Ok(RecordHarness {
+            machine,
+            recorder,
+            exec,
+            prologue_end,
+            skip_idle_intervals: true,
+        })
+    }
+
+    /// The machine being recorded on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Access to the underlying executor (e.g. for timing probes).
+    pub fn executor_mut(&mut self) -> &mut GpuExecutor {
+        &mut self.exec
+    }
+
+    fn build_cfg(&self, label: String, modeled: u64) -> BuildConfig {
+        BuildConfig {
+            sku: self.machine.sku(),
+            label,
+            skip_idle_intervals: self.skip_idle_intervals,
+            modeled_gpu_mem_bytes: modeled,
+        }
+    }
+
+    fn first_dump_pages(&self, from: usize, to: usize) -> Vec<(u64, Vec<u8>)> {
+        self.recorder
+            .events(from, to)
+            .into_iter()
+            .find_map(|e| match e.event {
+                RawEvent::JobDump { pages, .. } => Some(pages),
+                _ => None,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Records `model` inference at `granularity`. Runs the workload twice
+    /// with different magic inputs for taint-based I/O discovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stack errors or ambiguous I/O discovery.
+    pub fn record_inference(
+        &mut self,
+        model: &ModelSpec,
+        granularity: Granularity,
+        seed: u64,
+    ) -> Result<InferenceRecordings, DriverError> {
+        let net = self.exec.compile(model, seed)?;
+        let groups = fusion::groups(&net, granularity);
+
+        // --- Run A (the recorded run) ---
+        let mut rng_a = SimRng::seed_from(seed).fork("magicA");
+        let magic_a = taint::magic_input(net.input_len(), &mut rng_a);
+        self.exec.write_input(&net, &magic_a)?;
+        let mut marks = Vec::new();
+        for group in &groups {
+            self.recorder.reset_dump_cache();
+            let m0 = self.recorder.mark();
+            for &layer in group {
+                self.exec.run_layer(&net, layer)?;
+            }
+            marks.push((m0, self.recorder.mark()));
+        }
+        let out_a = self.exec.read_output(&net)?;
+        let regions = self.recorder.last_regions();
+        // Output taint scans only CPU-visible (Data) allocations — those
+        // are the only places an app-facing result can live.
+        let data_regions: Vec<_> = regions
+            .iter()
+            .filter(|r| r.kind == gr_stack::driver::RegionKind::Data)
+            .cloned()
+            .collect();
+        let in_a = taint::scan_dump_pages(
+            &self.first_dump_pages(marks[0].0, marks[0].1),
+            &taint::f32_pattern(&magic_a),
+        );
+        let out_hits_a =
+            taint::scan_regions(&data_regions, self.machine.mem(), &taint::f32_pattern(&out_a));
+
+        // --- Run B (discovery confirmation; recording discarded) ---
+        let mut rng_b = SimRng::seed_from(seed).fork("magicB");
+        let magic_b = taint::magic_input(net.input_len(), &mut rng_b);
+        self.exec.write_input(&net, &magic_b)?;
+        self.recorder.reset_dump_cache();
+        let mb0 = self.recorder.mark();
+        for idx in 0..net.layers.len() {
+            self.exec.run_layer(&net, idx)?;
+        }
+        let mb1 = self.recorder.mark();
+        let out_b = self.exec.read_output(&net)?;
+        let in_b = taint::scan_dump_pages(
+            &self.first_dump_pages(mb0, mb1),
+            &taint::f32_pattern(&magic_b),
+        );
+        let out_hits_b =
+            taint::scan_regions(&data_regions, self.machine.mem(), &taint::f32_pattern(&out_b));
+
+        let input_cands = taint::intersect(&in_a, &in_b);
+        let output_cands = taint::intersect(&out_hits_a, &out_hits_b);
+        let &input_va = input_cands.first().ok_or(DriverError::BadState("input not found"))?;
+        let &output_va = output_cands.first().ok_or(DriverError::BadState("output not found"))?;
+
+        // --- Build recordings from run A ---
+        let prologue = self.recorder.events(0, self.prologue_end);
+        let mut recordings = Vec::new();
+        let n_groups = marks.len();
+        for (i, (m0, m1)) in marks.iter().enumerate() {
+            let group_events = self.recorder.events(*m0, *m1);
+            let inputs = if i == 0 {
+                vec![IoSlot {
+                    name: "input0".into(),
+                    va: input_va,
+                    len: (net.input_len() * 4) as u32,
+                }]
+            } else {
+                Vec::new()
+            };
+            let outputs = if i + 1 == n_groups {
+                vec![IoSlot {
+                    name: "output0".into(),
+                    va: output_va,
+                    len: (net.output_len() * 4) as u32,
+                }]
+            } else {
+                Vec::new()
+            };
+            let cfg = self.build_cfg(
+                format!("{}-{}-g{i}", net.model_name, granularity),
+                net.modeled_gpu_mem_bytes,
+            );
+            recordings.push(build_recording(
+                &cfg,
+                &prologue,
+                &regions,
+                &group_events,
+                inputs,
+                outputs,
+            ));
+        }
+        Ok(InferenceRecordings {
+            recordings,
+            net,
+            input_va,
+            output_va,
+        })
+    }
+
+    /// Records one MNIST training iteration (DeepCL-style). Weights are
+    /// annotated as input *and* output slots (§4.4 "by value and by
+    /// address").
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack errors.
+    pub fn record_training(&mut self, seed: u64) -> Result<TrainingRecording, DriverError> {
+        let rt = self.exec.runtime_mut();
+        let sess = TrainSession::build(rt, seed)?;
+        let mut rng = SimRng::seed_from(seed).fork("train-img");
+        let img = taint::magic_input((gr_mlfw::train::IMG * gr_mlfw::train::IMG) as usize, &mut rng);
+        self.recorder.reset_dump_cache();
+        let m0 = self.recorder.mark();
+        let loss = sess.run_iteration(self.exec.runtime_mut(), &img, 3)?;
+        let m1 = self.recorder.mark();
+
+        let slot = |name: &str, buf: &gr_stack::runtime::Buffer| IoSlot {
+            name: name.into(),
+            va: buf.va,
+            len: buf.len as u32,
+        };
+        let inputs = vec![
+            slot("image", &sess.x),
+            slot("label", &sess.labels),
+            slot("w1", &sess.w1),
+            slot("wfc", &sess.wfc),
+            slot("bfc", &sess.bfc),
+        ];
+        let outputs = vec![
+            slot("probs", &sess.probs),
+            slot("w1", &sess.w1),
+            slot("wfc", &sess.wfc),
+            slot("bfc", &sess.bfc),
+        ];
+        let prologue = self.recorder.events(0, self.prologue_end);
+        let group = self.recorder.events(m0, m1);
+        let regions = self.recorder.last_regions();
+        let cfg = self.build_cfg("mnist-train-iter".into(), 12 * 1024 * 1024);
+        let recording = build_recording(&cfg, &prologue, &regions, &group, inputs, outputs);
+        Ok(TrainingRecording {
+            recording,
+            initial_weights: sess.initial_weights.clone(),
+            record_loss: loss,
+        })
+    }
+
+    /// Records a vector-add math kernel (the §6.4/Fig. 9 cross-SKU
+    /// workload: "16M elements vecadd"). `actual_n` elements execute;
+    /// `modeled_n` drives the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack errors.
+    pub fn record_vecadd(
+        &mut self,
+        actual_n: usize,
+        modeled_n: u64,
+        seed: u64,
+    ) -> Result<Recording, DriverError> {
+        let rt = self.exec.runtime_mut();
+        let a = rt.alloc_buffer(actual_n * 4, BufferKind::Data)?;
+        let b = rt.alloc_buffer(actual_n * 4, BufferKind::Data)?;
+        let out = rt.alloc_buffer(actual_n * 4, BufferKind::Data)?;
+        let mut rng = SimRng::seed_from(seed).fork("vecadd");
+        let va_vals = taint::magic_input(actual_n, &mut rng);
+        let vb_vals = taint::magic_input(actual_n, &mut rng);
+        rt.write_buffer(&a, 0, &taint::f32_pattern(&va_vals))?;
+        rt.write_buffer(&b, 0, &taint::f32_pattern(&vb_vals))?;
+        self.recorder.reset_dump_cache();
+        let m0 = self.recorder.mark();
+        let rt = self.exec.runtime_mut();
+        rt.launch(&KernelLaunch {
+            op: KernelOp::EltwiseAdd {
+                a: a.va,
+                b: b.va,
+                out: out.va,
+                n: actual_n as u32,
+                act: ActKind::None,
+            },
+            // Vector kernels on these GPUs are issue-limited: model ~64
+            // ALU/LSU slots per element so core count (affinity) governs
+            // the replay speed, as in the paper's Fig. 9 experiment.
+            cost: JobCost {
+                flops: modeled_n * 64,
+                bytes: modeled_n,
+            },
+            kind_key: "eltadd/vec".into(),
+            label: "vecadd".into(),
+        })?;
+        rt.finish()?;
+        let m1 = self.recorder.mark();
+
+        let inputs = vec![
+            IoSlot { name: "a".into(), va: a.va, len: (actual_n * 4) as u32 },
+            IoSlot { name: "b".into(), va: b.va, len: (actual_n * 4) as u32 },
+        ];
+        let outputs = vec![IoSlot { name: "out".into(), va: out.va, len: (actual_n * 4) as u32 }];
+        let prologue = self.recorder.events(0, self.prologue_end);
+        let group = self.recorder.events(m0, m1);
+        let regions = self.recorder.last_regions();
+        let cfg = self.build_cfg(format!("vecadd-{modeled_n}"), modeled_n * 12);
+        Ok(build_recording(&cfg, &prologue, &regions, &group, inputs, outputs))
+    }
+
+    /// Releases the stack (GPU powered down, ready for a replayer).
+    pub fn finish(self) -> Machine {
+        self.exec.release();
+        self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::{MALI_G71, V3D_RPI4};
+    use gr_mlfw::models;
+
+    #[test]
+    fn records_mnist_whole_nn_with_discovered_io() {
+        let machine = Machine::new(&MALI_G71, 101);
+        let mut h = RecordHarness::new(machine).unwrap();
+        let recs = h
+            .record_inference(&models::mnist(), Granularity::WholeNn, 5)
+            .unwrap();
+        assert_eq!(recs.recordings.len(), 1);
+        let rec = &recs.recordings[0];
+        assert_eq!(recs.input_va, recs.net.input_va, "taint found the true input");
+        assert_eq!(recs.output_va, recs.net.output_va, "taint found the true output");
+        assert_eq!(rec.meta.job_count as usize, recs.net.job_count());
+        assert!(rec.meta.regio_count > 50, "regio = {}", rec.meta.regio_count);
+        assert!(!rec.dumps.is_empty());
+        assert_eq!(rec.inputs.len(), 1);
+        assert_eq!(rec.outputs.len(), 1);
+        // Serialization roundtrip of a real recording.
+        let bytes = rec.to_bytes();
+        let back = gr_recording::Recording::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, rec);
+        h.finish();
+    }
+
+    #[test]
+    fn per_layer_granularity_yields_multiple_recordings() {
+        let machine = Machine::new(&MALI_G71, 102);
+        let mut h = RecordHarness::new(machine).unwrap();
+        let recs = h
+            .record_inference(&models::mnist(), Granularity::PerLayer, 5)
+            .unwrap();
+        assert_eq!(recs.recordings.len(), 4, "MNIST has 4 layers");
+        assert_eq!(recs.recordings[0].inputs.len(), 1);
+        assert!(recs.recordings[1].inputs.is_empty());
+        assert_eq!(recs.recordings[3].outputs.len(), 1);
+        h.finish();
+    }
+
+    #[test]
+    fn v3d_recording_dumps_more_and_compresses() {
+        let machine = Machine::new(&V3D_RPI4, 103);
+        let mut h = RecordHarness::new(machine).unwrap();
+        let recs = h
+            .record_inference(&models::mnist(), Granularity::WholeNn, 5)
+            .unwrap();
+        let rec = &recs.recordings[0];
+        let raw = rec.dump_bytes();
+        let zipped = rec.to_bytes().len();
+        assert!(zipped < raw, "zipped {zipped} < raw {raw}");
+        h.finish();
+    }
+
+    #[test]
+    fn training_recording_carries_weight_slots() {
+        let machine = Machine::new(&MALI_G71, 104);
+        let mut h = RecordHarness::new(machine).unwrap();
+        let t = h.record_training(9).unwrap();
+        assert_eq!(t.recording.inputs.len(), 5);
+        assert_eq!(t.recording.outputs.len(), 4);
+        assert_eq!(t.recording.meta.job_count, 17);
+        assert!(t.record_loss > 0.0);
+        h.finish();
+    }
+
+    #[test]
+    fn vecadd_recording_is_small() {
+        let machine = Machine::new(&MALI_G31, 105);
+        let mut h = RecordHarness::new(machine).unwrap();
+        let rec = h.record_vecadd(256, 16_000_000, 3).unwrap();
+        assert_eq!(rec.meta.job_count, 1);
+        assert_eq!(rec.inputs.len(), 2);
+        assert_eq!(rec.outputs.len(), 1);
+        h.finish();
+    }
+
+    use gr_gpu::sku::MALI_G31;
+}

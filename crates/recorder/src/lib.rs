@@ -1,0 +1,24 @@
+//! The GPUReplay recorder.
+//!
+//! Lives at the paper's §4 instrumentation seams: it observes every
+//! driver↔GPU interaction through [`gr_stack::RecorderSink`], summarizes
+//! nondeterministic polling into tolerant `RegReadWait` actions, dumps GPU
+//! memory right before each job kick using family-specific policies (the
+//! Mali executable-bit heuristic of §6.1; v3d control-list pointer
+//! chasing plus alloc-flag hints of §6.2), discovers input/output
+//! addresses with magic-value taint scans (§4.4), and decides which
+//! inter-action intervals the replayer may skip using the GPU-idle
+//! heuristic (§4.5).
+//!
+//! [`harness::RecordHarness`] drives end-to-end recording of NN inference
+//! (at all three Fig. 11 granularities), NN training, and raw kernel
+//! workloads.
+
+pub mod builder;
+pub mod dump;
+pub mod harness;
+pub mod sink;
+pub mod taint;
+
+pub use harness::RecordHarness;
+pub use sink::Recorder;

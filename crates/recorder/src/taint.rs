@@ -1,0 +1,142 @@
+//! Magic-value taint tracking for I/O address discovery (§4.4).
+//!
+//! The runtime is a kernel-bypassing blackbox, so the recorder cannot see
+//! where the framework put the input. Instead the record harness injects
+//! *synthetic high-entropy inputs* and scans GPU memory for them; output
+//! addresses are found by scanning post-run memory for the values the
+//! framework returned to the app. Repeating with a second magic input and
+//! intersecting the candidates eliminates false matches.
+
+use gr_sim::SimRng;
+use gr_soc::{SharedMem, PAGE_SIZE};
+use gr_stack::hooks::RegionSnapshot;
+
+/// Generates a high-entropy magic input of `n` f32 values in `[0, 1)`.
+pub fn magic_input(n: usize, rng: &mut SimRng) -> Vec<f32> {
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+/// Serializes f32s to their little-endian byte pattern.
+pub fn f32_pattern(vals: &[f32]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+fn find_in(hay: &[u8], base_va: u64, needle: &[u8], hits: &mut Vec<u64>) {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return;
+    }
+    let mut i = 0;
+    while i + needle.len() <= hay.len() {
+        if &hay[i..i + needle.len()] == needle {
+            hits.push(base_va + i as u64);
+            i += needle.len();
+        } else {
+            i += 4; // f32-aligned scan
+        }
+    }
+}
+
+/// Scans captured dump pages for `needle`, returning match VAs.
+pub fn scan_dump_pages(pages: &[(u64, Vec<u8>)], needle: &[u8]) -> Vec<u64> {
+    // Stitch contiguous pages so patterns crossing page boundaries match.
+    let mut hits = Vec::new();
+    let mut run_va = 0u64;
+    let mut run: Vec<u8> = Vec::new();
+    for (va, bytes) in pages {
+        if !run.is_empty() && run_va + run.len() as u64 == *va {
+            run.extend_from_slice(bytes);
+        } else {
+            find_in(&run, run_va, needle, &mut hits);
+            run_va = *va;
+            run = bytes.clone();
+        }
+    }
+    find_in(&run, run_va, needle, &mut hits);
+    hits
+}
+
+/// Scans live GPU memory (all CPU-visible region pages) for `needle`.
+pub fn scan_regions(regions: &[RegionSnapshot], mem: &SharedMem, needle: &[u8]) -> Vec<u64> {
+    let mut hits = Vec::new();
+    for r in regions {
+        let mut content = vec![0u8; r.pages * PAGE_SIZE];
+        let mut ok = true;
+        for (i, &pa) in r.pas.iter().enumerate() {
+            if mem
+                .read(pa, &mut content[i * PAGE_SIZE..(i + 1) * PAGE_SIZE])
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            find_in(&content, r.va, needle, &mut hits);
+        }
+    }
+    hits
+}
+
+/// Intersects candidate VAs from two runs (the paper's repeat-and-
+/// intersect disambiguation).
+pub fn intersect(a: &[u64], b: &[u64]) -> Vec<u64> {
+    a.iter().filter(|va| b.contains(va)).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_soc::PhysMem;
+    use gr_stack::driver::RegionKind;
+
+    #[test]
+    fn magic_is_high_entropy_and_seed_stable() {
+        let mut r1 = SimRng::seed_from(5).fork("magic");
+        let mut r2 = SimRng::seed_from(5).fork("magic");
+        let a = magic_input(64, &mut r1);
+        let b = magic_input(64, &mut r2);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u32> = a.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 60, "values should be almost all distinct");
+    }
+
+    #[test]
+    fn dump_scan_finds_pattern_across_page_boundary() {
+        let needle = f32_pattern(&[1.25, 2.5, 3.75]);
+        let mut page0 = vec![0u8; PAGE_SIZE];
+        let mut page1 = vec![0u8; PAGE_SIZE];
+        // Place the needle across the boundary.
+        let start = PAGE_SIZE - 4;
+        page0[start..].copy_from_slice(&needle[..4]);
+        page1[..8].copy_from_slice(&needle[4..]);
+        let pages = vec![(0x10_0000u64, page0), (0x10_1000u64, page1)];
+        let hits = scan_dump_pages(&pages, &needle);
+        assert_eq!(hits, vec![0x10_0000 + start as u64]);
+    }
+
+    #[test]
+    fn intersection_eliminates_false_matches() {
+        assert_eq!(intersect(&[0x1000, 0x2000], &[0x2000, 0x3000]), vec![0x2000]);
+        assert!(intersect(&[0x1000], &[]).is_empty());
+    }
+
+    #[test]
+    fn region_scan_reads_through_frames() {
+        let mem = SharedMem::new(PhysMem::new(0, 4 * PAGE_SIZE));
+        let needle = f32_pattern(&[9.5, -3.25]);
+        mem.write(2 * PAGE_SIZE as u64 + 16, &needle).unwrap();
+        let regions = vec![RegionSnapshot {
+            va: 0x50_0000,
+            pages: 1,
+            kind: RegionKind::Data,
+            pte_flags: vec![0xB],
+            pas: vec![2 * PAGE_SIZE as u64],
+        }];
+        let hits = scan_regions(&regions, &mem, &needle);
+        assert_eq!(hits, vec![0x50_0000 + 16]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Replay actions — the paper's Table 2, verbatim.
+//!
+//! Every action carries a *minimum interval* (§4.5): if the replayer takes
+//! `t` to execute the current action it pauses for at least `T − t` before
+//! the next one. The recorder sets `T = 0` for intervals the GPU provably
+//! sat idle through, and preserves the observed interval otherwise.
+
+/// One replay action. Register offsets are *names* resolved by the
+/// replayer against its own register mapping; the recorder and replayer
+/// stay oblivious to what most registers mean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Read register `reg` once; a value ≠ `expect` is a replay error
+    /// unless `ignore` is set (registers with nondeterministic values).
+    RegReadOnce {
+        /// Register offset.
+        reg: u32,
+        /// Expected value.
+        expect: u32,
+        /// Tolerate any value.
+        ignore: bool,
+    },
+    /// Poll `reg` until `(value & mask) == val`, failing after `timeout_ns`.
+    /// Summarizes a nondeterministic-length polling loop.
+    RegReadWait {
+        /// Register offset.
+        reg: u32,
+        /// Bits to compare.
+        mask: u32,
+        /// Value to wait for.
+        val: u32,
+        /// Give-up horizon in nanoseconds.
+        timeout_ns: u64,
+    },
+    /// Write `val` to the bits of `reg` selected by `mask`.
+    RegWrite {
+        /// Register offset.
+        reg: u32,
+        /// Bit-select mask (`u32::MAX` = whole register).
+        mask: u32,
+        /// Value to write.
+        val: u32,
+    },
+    /// Point the GPU at the page tables the replayer rebuilt. The replayer
+    /// substitutes its own table base for the record-time one (physical
+    /// layout differs between record and replay).
+    SetGpuPgtable,
+    /// Allocate and map `pte_flags.len()` pages of GPU memory at `va`,
+    /// reproducing the recorded per-page permission bits (a page-table
+    /// dump). Flags are opaque to the replayer; the cross-SKU patcher
+    /// rewrites them when formats differ.
+    MapGpuMem {
+        /// First virtual address.
+        va: u64,
+        /// Low PTE bits for each page, in the *recording* SKU's format.
+        pte_flags: Vec<u16>,
+    },
+    /// Unmap the region at `va` and free its physical pages.
+    UnmapGpuMem {
+        /// First virtual address.
+        va: u64,
+    },
+    /// Load memory dump `dump_idx` at its virtual address.
+    Upload {
+        /// Index into the recording's dump table.
+        dump_idx: u32,
+    },
+    /// Copy an app-supplied input buffer into GPU memory (slot resolved
+    /// against the recording's input table).
+    CopyToGpu {
+        /// Input slot index.
+        slot: u32,
+    },
+    /// Copy GPU memory out to an app-supplied output buffer.
+    CopyFromGpu {
+        /// Output slot index.
+        slot: u32,
+    },
+    /// Wait for a GPU interrupt on `line`; a timeout is a replay error.
+    /// Interrupt handling is done by replaying the subsequent actions.
+    WaitIrq {
+        /// IRQ line number.
+        line: u32,
+        /// Give-up horizon in nanoseconds.
+        timeout_ns: u64,
+    },
+    /// Marks interrupt-context entry/exit (the nano driver switches CPU
+    /// context and `eret`s just as the record-time handler did).
+    IrqContext {
+        /// `true` = enter handler, `false` = leave (eret).
+        enter: bool,
+    },
+}
+
+impl Action {
+    /// Numeric tag used by the container encoding.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Action::RegReadOnce { .. } => 1,
+            Action::RegReadWait { .. } => 2,
+            Action::RegWrite { .. } => 3,
+            Action::SetGpuPgtable => 4,
+            Action::MapGpuMem { .. } => 5,
+            Action::UnmapGpuMem { .. } => 6,
+            Action::Upload { .. } => 7,
+            Action::CopyToGpu { .. } => 8,
+            Action::CopyFromGpu { .. } => 9,
+            Action::WaitIrq { .. } => 10,
+            Action::IrqContext { .. } => 11,
+        }
+    }
+
+    /// `true` for actions that touch a register (used by RegIO counting in
+    /// Table 6 and by the verifier's register whitelist).
+    pub fn touches_register(&self) -> Option<u32> {
+        match self {
+            Action::RegReadOnce { reg, .. }
+            | Action::RegReadWait { reg, .. }
+            | Action::RegWrite { reg, .. } => Some(*reg),
+            _ => None,
+        }
+    }
+}
+
+/// An action plus its §4.5 pacing interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedAction {
+    /// The action.
+    pub action: Action,
+    /// Minimum interval (ns) between the *previous* action and this one.
+    /// Zero means "fast-forward": the recorder proved the GPU idle across
+    /// the recorded gap.
+    pub min_interval_ns: u64,
+}
+
+impl TimedAction {
+    /// An action with no pacing requirement.
+    pub fn immediate(action: Action) -> Self {
+        TimedAction {
+            action,
+            min_interval_ns: 0,
+        }
+    }
+
+    /// An action that must not start before `ns` nanoseconds have elapsed
+    /// since the previous action.
+    pub fn paced(action: Action, ns: u64) -> Self {
+        TimedAction {
+            action,
+            min_interval_ns: ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique() {
+        let actions = vec![
+            Action::RegReadOnce { reg: 0, expect: 0, ignore: false },
+            Action::RegReadWait { reg: 0, mask: 0, val: 0, timeout_ns: 0 },
+            Action::RegWrite { reg: 0, mask: 0, val: 0 },
+            Action::SetGpuPgtable,
+            Action::MapGpuMem { va: 0, pte_flags: vec![] },
+            Action::UnmapGpuMem { va: 0 },
+            Action::Upload { dump_idx: 0 },
+            Action::CopyToGpu { slot: 0 },
+            Action::CopyFromGpu { slot: 0 },
+            Action::WaitIrq { line: 0, timeout_ns: 0 },
+            Action::IrqContext { enter: true },
+        ];
+        let mut tags: Vec<u8> = actions.iter().map(Action::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), actions.len());
+    }
+
+    #[test]
+    fn register_classification() {
+        assert_eq!(
+            Action::RegWrite { reg: 0x18, mask: 0, val: 0 }.touches_register(),
+            Some(0x18)
+        );
+        assert_eq!(Action::SetGpuPgtable.touches_register(), None);
+        assert_eq!(Action::Upload { dump_idx: 1 }.touches_register(), None);
+    }
+
+    #[test]
+    fn pacing_constructors() {
+        let a = TimedAction::immediate(Action::SetGpuPgtable);
+        assert_eq!(a.min_interval_ns, 0);
+        let b = TimedAction::paced(Action::SetGpuPgtable, 500);
+        assert_eq!(b.min_interval_ns, 500);
+    }
+}

@@ -1,0 +1,84 @@
+//! Recording metadata: SKU binding, memory dumps, and I/O slots.
+
+/// Identity and accounting data carried by every recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingMeta {
+    /// GPU family ("mali" / "v3d") — selects the replayer's nano-driver
+    /// personality and register whitelist.
+    pub family: String,
+    /// SKU name the workload was recorded on ("G71").
+    pub sku_name: String,
+    /// Value the ID register must return at replay time. By default GR
+    /// expects record/replay hardware to match exactly (§3.1); the §6.4
+    /// patcher rewrites this field.
+    pub gpu_id: u32,
+    /// Human label ("alexnet-layer3").
+    pub label: String,
+    /// Number of GPU jobs the recording submits.
+    pub job_count: u32,
+    /// Number of register interactions (Table 6's "#RegIO").
+    pub regio_count: u32,
+    /// Peak GPU physical memory the recording maps, in pages (the §5.1
+    /// verifier enforces this as a cap).
+    pub peak_mapped_pages: u64,
+    /// Modeled full-size GPU memory footprint in bytes (Table 6's
+    /// "GPU Mem" column; informational).
+    pub modeled_gpu_mem_bytes: u64,
+}
+
+impl RecordingMeta {
+    /// Creates metadata with zeroed counters.
+    pub fn new(family: &str, sku_name: &str, gpu_id: u32, label: &str) -> Self {
+        RecordingMeta {
+            family: family.to_string(),
+            sku_name: sku_name.to_string(),
+            gpu_id,
+            label: label.to_string(),
+            job_count: 0,
+            regio_count: 0,
+            peak_mapped_pages: 0,
+            modeled_gpu_mem_bytes: 0,
+        }
+    }
+}
+
+/// One captured GPU memory region, restored at `va` during replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dump {
+    /// Target GPU virtual address.
+    pub va: u64,
+    /// Raw bytes (uncompressed in memory; the container compresses them).
+    pub bytes: Vec<u8>,
+}
+
+/// A discovered input or output buffer (§4.4 taint tracking results).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoSlot {
+    /// Slot name ("input0", "logits").
+    pub name: String,
+    /// GPU virtual address the app's data is injected to / extracted from.
+    pub va: u64,
+    /// Byte length.
+    pub len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_construction() {
+        let m = RecordingMeta::new("mali", "G71", 0x42, "mnist");
+        assert_eq!(m.family, "mali");
+        assert_eq!(m.gpu_id, 0x42);
+        assert_eq!(m.job_count, 0);
+    }
+
+    #[test]
+    fn dump_and_slot_hold_data() {
+        let d = Dump { va: 0x1000, bytes: vec![1, 2, 3] };
+        assert_eq!(d.bytes.len(), 3);
+        let s = IoSlot { name: "in".into(), va: 0x2000, len: 64 };
+        assert_eq!(s.len, 64);
+    }
+}

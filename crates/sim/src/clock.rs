@@ -1,0 +1,96 @@
+//! The shared virtual clock.
+//!
+//! One [`SimClock`] is created per simulated machine and cloned into every
+//! component (drivers, runtime, GPU device, replayer). Cloning is cheap; all
+//! clones observe and advance the same timeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically advancing virtual clock shared across the machine.
+///
+/// The clock only moves when a component explicitly charges time to it —
+/// there is no background progression. This is what makes record/replay
+/// experiments deterministic.
+///
+/// # Example
+///
+/// ```
+/// use gr_sim::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let driver_view = clock.clone();
+/// clock.advance(SimDuration::from_micros(10));
+/// assert_eq!(driver_view.now().as_nanos(), 10_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        SimClock {
+            ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.ns.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let ns = self.ns.fetch_add(d.as_nanos(), Ordering::SeqCst) + d.as_nanos();
+        SimTime::from_nanos(ns)
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise leaves
+    /// it unchanged. Returns the (possibly unchanged) current instant.
+    ///
+    /// Used when waiting for a hardware event scheduled at an absolute time.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        self.ns.fetch_max(t.as_nanos(), Ordering::SeqCst);
+        self.now()
+    }
+
+    /// Returns `true` if both handles refer to the same timeline.
+    pub fn same_timeline(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_nanos(5));
+        b.advance(SimDuration::from_nanos(7));
+        assert_eq!(a.now(), SimTime::from_nanos(12));
+        assert!(a.same_timeline(&b));
+        assert!(!a.same_timeline(&SimClock::new()));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(100));
+        let now = c.advance_to(SimTime::from_nanos(50));
+        assert_eq!(now, SimTime::from_nanos(100));
+        let now = c.advance_to(SimTime::from_nanos(150));
+        assert_eq!(now, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SimClock::default().now(), SimTime::ZERO);
+    }
+}

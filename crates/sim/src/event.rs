@@ -1,0 +1,149 @@
+//! A small deterministic future-event queue.
+//!
+//! Device models (GPU job completion, cache-flush done, power-up settle)
+//! schedule payloads at absolute instants; the owner drains everything due
+//! at or before "now" in schedule order. Ties break by insertion order so
+//! simulation stays deterministic.
+
+use std::collections::BinaryHeap;
+use std::cmp::{Ordering, Reverse};
+
+use crate::time::SimTime;
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A time-ordered queue of future events carrying payloads of type `T`.
+///
+/// # Example
+///
+/// ```
+/// use gr_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "late");
+/// q.schedule(SimTime::from_nanos(10), "early");
+/// assert_eq!(q.pop_due(SimTime::from_nanos(15)), Some("early"));
+/// assert_eq!(q.pop_due(SimTime::from_nanos(15)), None);
+/// assert_eq!(q.next_time(), Some(SimTime::from_nanos(20)));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at instant `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the earliest event due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<T> {
+        if self.next_time().is_some_and(|t| t <= now) {
+            self.heap.pop().map(|Reverse(e)| e.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (GPU soft reset).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let now = SimTime::from_nanos(100);
+        assert_eq!(q.pop_due(now), Some(1));
+        assert_eq!(q.pop_due(now), Some(2));
+        assert_eq!(q.pop_due(now), Some(3));
+        assert_eq!(q.pop_due(now), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop_due(t), Some(i));
+        }
+    }
+
+    #[test]
+    fn future_events_stay_queued() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(50), "x");
+        assert_eq!(q.pop_due(SimTime::from_nanos(49)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+    }
+}

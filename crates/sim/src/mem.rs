@@ -1,0 +1,124 @@
+//! Modeled CPU heap accounting.
+//!
+//! §7.3 of the paper compares the replayer's CPU memory consumption
+//! (2–10 MB) against the full stack's (220–310 MB). In this reproduction
+//! both sides *model* their dominant allocations — GPU contexts, JIT
+//! buffers, framework graphs for the stack; dump staging for the replayer —
+//! through a [`MemAccount`], which tracks current and peak usage.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct AccountInner {
+    current: u64,
+    peak: u64,
+}
+
+/// A shared ledger of modeled heap bytes.
+///
+/// # Example
+///
+/// ```
+/// use gr_sim::MemAccount;
+///
+/// let acct = MemAccount::new();
+/// acct.alloc(1024);
+/// acct.alloc(2048);
+/// acct.free(1024);
+/// assert_eq!(acct.current(), 2048);
+/// assert_eq!(acct.peak(), 3072);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemAccount {
+    inner: Arc<Mutex<AccountInner>>,
+}
+
+impl MemAccount {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&self, bytes: u64) {
+        let mut g = self.inner.lock();
+        g.current = g.current.saturating_add(bytes);
+        g.peak = g.peak.max(g.current);
+    }
+
+    /// Records a free of `bytes` (saturating at zero; freeing more than was
+    /// allocated indicates a modeling bug but must not panic in release).
+    pub fn free(&self, bytes: u64) {
+        let mut g = self.inner.lock();
+        debug_assert!(g.current >= bytes, "MemAccount free underflow");
+        g.current = g.current.saturating_sub(bytes);
+    }
+
+    /// Bytes currently accounted.
+    pub fn current(&self) -> u64 {
+        self.inner.lock().current
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// Resets both counters (new experiment phase).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        g.current = 0;
+        g.peak = 0;
+    }
+}
+
+/// Formats a byte count the way the paper's tables do (KB/MB with one
+/// decimal).
+pub fn format_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_current_and_peak() {
+        let a = MemAccount::new();
+        a.alloc(10);
+        a.alloc(30);
+        assert_eq!(a.current(), 40);
+        a.free(25);
+        assert_eq!(a.current(), 15);
+        assert_eq!(a.peak(), 40);
+        a.reset();
+        assert_eq!(a.current(), 0);
+        assert_eq!(a.peak(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let a = MemAccount::new();
+        let b = a.clone();
+        a.alloc(100);
+        assert_eq!(b.current(), 100);
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(50 * 1024), "50.0 KB");
+        assert_eq!(format_bytes(5 * 1024 * 1024 + 512 * 1024), "5.5 MB");
+    }
+}

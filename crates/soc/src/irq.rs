@@ -1,0 +1,139 @@
+//! Interrupt lines.
+//!
+//! Devices raise lines; CPU-side code (driver IRQ handlers, the replayer's
+//! `WaitIrq` action) observes and clears them. Lines are level-style with a
+//! pending latch, which is all the paper's GPU model requires.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Identifier of one interrupt line on the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IrqLine(pub u32);
+
+impl std::fmt::Display for IrqLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "irq{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct IrqInner {
+    pending: u64,
+    raised_total: u64,
+}
+
+/// A small interrupt controller with up to 64 lines.
+///
+/// # Example
+///
+/// ```
+/// use gr_soc::{IrqController, IrqLine};
+///
+/// let irq = IrqController::new();
+/// irq.raise(IrqLine(3));
+/// assert!(irq.pending(IrqLine(3)));
+/// irq.clear(IrqLine(3));
+/// assert!(!irq.any_pending());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IrqController {
+    inner: Arc<Mutex<IrqInner>>,
+}
+
+impl IrqController {
+    /// Creates a controller with all lines idle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches `line` pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line.0 >= 64`.
+    pub fn raise(&self, line: IrqLine) {
+        assert!(line.0 < 64, "irq line out of range");
+        let mut g = self.inner.lock();
+        g.pending |= 1 << line.0;
+        g.raised_total += 1;
+    }
+
+    /// Clears the pending latch of `line`.
+    pub fn clear(&self, line: IrqLine) {
+        assert!(line.0 < 64, "irq line out of range");
+        self.inner.lock().pending &= !(1 << line.0);
+    }
+
+    /// `true` when `line` is latched.
+    pub fn pending(&self, line: IrqLine) -> bool {
+        assert!(line.0 < 64, "irq line out of range");
+        self.inner.lock().pending & (1 << line.0) != 0
+    }
+
+    /// `true` when any line is latched.
+    pub fn any_pending(&self) -> bool {
+        self.inner.lock().pending != 0
+    }
+
+    /// Bitmask of all latched lines.
+    pub fn pending_mask(&self) -> u64 {
+        self.inner.lock().pending
+    }
+
+    /// Total raise events since creation (validation uses this to compare
+    /// interrupt counts across record and replay runs).
+    pub fn raised_total(&self) -> u64 {
+        self.inner.lock().raised_total
+    }
+
+    /// Clears all latches (machine/GPU reset).
+    pub fn reset(&self) {
+        self.inner.lock().pending = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_latches_until_cleared() {
+        let c = IrqController::new();
+        c.raise(IrqLine(0));
+        c.raise(IrqLine(5));
+        assert!(c.pending(IrqLine(0)));
+        assert!(c.pending(IrqLine(5)));
+        assert_eq!(c.pending_mask(), 0b100001);
+        c.clear(IrqLine(0));
+        assert!(!c.pending(IrqLine(0)));
+        assert!(c.any_pending());
+        c.reset();
+        assert!(!c.any_pending());
+    }
+
+    #[test]
+    fn raise_total_counts_every_event() {
+        let c = IrqController::new();
+        c.raise(IrqLine(1));
+        c.raise(IrqLine(1));
+        c.clear(IrqLine(1));
+        c.raise(IrqLine(1));
+        assert_eq!(c.raised_total(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = IrqController::new();
+        let b = a.clone();
+        a.raise(IrqLine(7));
+        assert!(b.pending(IrqLine(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn line_64_panics() {
+        IrqController::new().raise(IrqLine(64));
+    }
+}

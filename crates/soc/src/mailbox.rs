@@ -1,0 +1,226 @@
+//! Firmware property mailbox.
+//!
+//! On the paper's v3d platform (Raspberry Pi 4) the kernel configures GPU
+//! power by exchanging property messages with the VideoCore firmware rather
+//! than by poking registers directly; the baremetal replayer had to port
+//! exactly that exchange (§6.3, citing the RaspberryPi mailbox property
+//! interface). This module models such a channel: requests complete after a
+//! firmware-processing delay and apply their effect to the [`SharedPmc`].
+
+use std::collections::VecDeque;
+
+use gr_sim::{SimClock, SimDuration, SimTime};
+
+use crate::pmc::{Pmc, PmcDomain, SharedPmc};
+
+/// Firmware processing latency per request. Real mailbox round trips are
+/// tens of microseconds.
+pub const MBOX_DELAY: SimDuration = SimDuration::from_micros(60);
+
+/// A property request the firmware understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MboxRequest {
+    /// Power a domain on or off.
+    SetPower {
+        /// Target domain.
+        domain: PmcDomain,
+        /// Desired state.
+        on: bool,
+    },
+    /// Reprogram a domain clock.
+    SetClock {
+        /// Target domain.
+        domain: PmcDomain,
+        /// New rate in MHz.
+        mhz: u32,
+    },
+    /// Query a domain clock (response carries MHz).
+    GetClock {
+        /// Queried domain.
+        domain: PmcDomain,
+    },
+}
+
+/// Completion state of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MboxStatus {
+    /// No request in flight.
+    Idle,
+    /// Firmware still processing; poll again later.
+    Busy,
+    /// Response ready; collect with [`Mailbox::take_response`].
+    Done,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    req: MboxRequest,
+    done_at: SimTime,
+}
+
+/// The mailbox channel. Single-request-deep like the hardware FIFO the
+/// firmware interface exposes to one client.
+#[derive(Debug)]
+pub struct Mailbox {
+    clock: SimClock,
+    pmc: SharedPmc,
+    in_flight: VecDeque<InFlight>,
+    response: Option<u32>,
+}
+
+impl Mailbox {
+    /// Creates a mailbox that applies requests to `pmc`.
+    pub fn new(clock: SimClock, pmc: SharedPmc) -> Self {
+        Mailbox {
+            clock,
+            pmc,
+            in_flight: VecDeque::new(),
+            response: None,
+        }
+    }
+
+    /// Submits `req`; completes [`MBOX_DELAY`] later.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when a request is already in flight (callers must
+    /// poll to completion first, as the real single-slot channel requires).
+    pub fn submit(&mut self, req: MboxRequest) -> Result<(), MboxRequest> {
+        if !self.in_flight.is_empty() || self.response.is_some() {
+            return Err(req);
+        }
+        self.in_flight.push_back(InFlight {
+            req,
+            done_at: self.clock.now() + MBOX_DELAY,
+        });
+        Ok(())
+    }
+
+    /// Polls the channel, applying the request's effect once its firmware
+    /// delay has elapsed.
+    pub fn status(&mut self) -> MboxStatus {
+        if self.response.is_some() {
+            return MboxStatus::Done;
+        }
+        let Some(front) = self.in_flight.front() else {
+            return MboxStatus::Idle;
+        };
+        if self.clock.now() < front.done_at {
+            return MboxStatus::Busy;
+        }
+        let fin = self.in_flight.pop_front().expect("front checked above");
+        let resp = self.apply(fin.req);
+        self.response = Some(resp);
+        MboxStatus::Done
+    }
+
+    /// Collects the response word of a completed request.
+    pub fn take_response(&mut self) -> Option<u32> {
+        self.response.take()
+    }
+
+    /// Earliest instant at which a pending request will complete (lets a
+    /// polling loop advance virtual time efficiently).
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.in_flight.front().map(|f| f.done_at)
+    }
+
+    fn apply(&mut self, req: MboxRequest) -> u32 {
+        match req {
+            MboxRequest::SetPower { domain, on } => {
+                self.pmc
+                    .write32(Pmc::pwr_ctrl_off(domain), u32::from(on));
+                0
+            }
+            MboxRequest::SetClock { domain, mhz } => {
+                self.pmc.write32(Pmc::clk_rate_off(domain), mhz);
+                0
+            }
+            MboxRequest::GetClock { domain } => self.pmc.clock_mhz(domain),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmc::SETTLE_DELAY;
+
+    fn mk() -> (SimClock, SharedPmc, Mailbox) {
+        let clock = SimClock::new();
+        let pmc = SharedPmc::new(Pmc::new(clock.clone()));
+        let mbox = Mailbox::new(clock.clone(), pmc.clone());
+        (clock, pmc, mbox)
+    }
+
+    #[test]
+    fn request_completes_after_delay() {
+        let (clock, pmc, mut mbox) = mk();
+        mbox.submit(MboxRequest::SetPower {
+            domain: PmcDomain::GpuCore,
+            on: true,
+        })
+        .unwrap();
+        assert_eq!(mbox.status(), MboxStatus::Busy);
+        clock.advance_to(mbox.next_completion().unwrap());
+        assert_eq!(mbox.status(), MboxStatus::Done);
+        assert_eq!(mbox.take_response(), Some(0));
+        clock.advance(SETTLE_DELAY);
+        assert!(pmc.is_stable(PmcDomain::GpuCore));
+        assert_eq!(mbox.status(), MboxStatus::Idle);
+    }
+
+    #[test]
+    fn single_slot_rejects_overlap() {
+        let (_, _, mut mbox) = mk();
+        let req = MboxRequest::GetClock {
+            domain: PmcDomain::GpuCore,
+        };
+        mbox.submit(req).unwrap();
+        assert_eq!(mbox.submit(req), Err(req));
+    }
+
+    #[test]
+    fn get_clock_reports_rate() {
+        let (clock, _, mut mbox) = mk();
+        mbox.submit(MboxRequest::SetPower {
+            domain: PmcDomain::GpuMem,
+            on: true,
+        })
+        .unwrap();
+        clock.advance(MBOX_DELAY);
+        assert_eq!(mbox.status(), MboxStatus::Done);
+        mbox.take_response();
+
+        mbox.submit(MboxRequest::SetClock {
+            domain: PmcDomain::GpuMem,
+            mhz: 450,
+        })
+        .unwrap();
+        clock.advance(MBOX_DELAY);
+        mbox.status();
+        mbox.take_response();
+
+        mbox.submit(MboxRequest::GetClock {
+            domain: PmcDomain::GpuMem,
+        })
+        .unwrap();
+        clock.advance(MBOX_DELAY);
+        assert_eq!(mbox.status(), MboxStatus::Done);
+        assert_eq!(mbox.take_response(), Some(450));
+    }
+
+    #[test]
+    fn response_must_be_collected_before_next_submit() {
+        let (clock, _, mut mbox) = mk();
+        let req = MboxRequest::GetClock {
+            domain: PmcDomain::GpuCore,
+        };
+        mbox.submit(req).unwrap();
+        clock.advance(MBOX_DELAY);
+        assert_eq!(mbox.status(), MboxStatus::Done);
+        assert_eq!(mbox.submit(req), Err(req), "uncollected response blocks");
+        mbox.take_response();
+        mbox.submit(req).unwrap();
+    }
+}

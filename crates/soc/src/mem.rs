@@ -1,0 +1,383 @@
+//! Simulated shared DRAM.
+//!
+//! Integrated GPUs share DRAM with the CPU (paper §2.1, footnote 2: "GPU
+//! memory" is part of shared DRAM). [`PhysMem`] is that DRAM: a flat,
+//! byte-addressable region at a fixed physical base. Both the CPU-side
+//! stack and the GPU device model operate on the same [`SharedMem`] handle;
+//! GPU page tables, job binaries, and tensors all live here.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Page/frame size used throughout the machine (both GPU MMU formats map
+/// 4 KiB pages, like Mali's and v3d's smallest granule).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Error raised by out-of-range physical accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// Faulting physical address.
+    pub pa: u64,
+    /// Access length in bytes.
+    pub len: usize,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "physical access out of range: pa={:#x} len={}",
+            self.pa, self.len
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Flat simulated DRAM starting at a fixed physical base address.
+///
+/// # Example
+///
+/// ```
+/// use gr_soc::{PhysMem, PAGE_SIZE};
+///
+/// let mut mem = PhysMem::new(0x1000, 2 * PAGE_SIZE);
+/// mem.write(0x1004, &[1, 2, 3])?;
+/// let mut buf = [0u8; 3];
+/// mem.read(0x1004, &mut buf)?;
+/// assert_eq!(buf, [1, 2, 3]);
+/// # Ok::<(), gr_soc::MemError>(())
+/// ```
+pub struct PhysMem {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl PhysMem {
+    /// Creates `size` bytes of zeroed DRAM at physical address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not page-aligned or `base + size` overflows.
+    pub fn new(base: u64, size: usize) -> Self {
+        assert!(size % PAGE_SIZE == 0, "DRAM size must be page aligned");
+        assert!(base.checked_add(size as u64).is_some(), "address overflow");
+        PhysMem {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// First valid physical address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// One past the last valid physical address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// `true` when `[pa, pa+len)` lies inside DRAM.
+    pub fn contains(&self, pa: u64, len: usize) -> bool {
+        pa >= self.base && pa.saturating_add(len as u64) <= self.end()
+    }
+
+    fn offset(&self, pa: u64, len: usize) -> Result<usize, MemError> {
+        if self.contains(pa, len) {
+            Ok((pa - self.base) as usize)
+        } else {
+            Err(MemError { pa, len })
+        }
+    }
+
+    /// Copies DRAM content at `pa` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when the range is out of bounds.
+    pub fn read(&self, pa: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let off = self.offset(pa, buf.len())?;
+        buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Copies `data` into DRAM at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when the range is out of bounds.
+    pub fn write(&mut self, pa: u64, data: &[u8]) -> Result<(), MemError> {
+        let off = self.offset(pa, data.len())?;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read_u32(&self, pa: u64) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(pa, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn write_u32(&mut self, pa: u64, val: u32) -> Result<(), MemError> {
+        self.write(pa, &val.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read_u64(&self, pa: u64) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn write_u64(&mut self, pa: u64, val: u64) -> Result<(), MemError> {
+        self.write(pa, &val.to_le_bytes())
+    }
+
+    /// Fills `[pa, pa+len)` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn fill(&mut self, pa: u64, len: usize, byte: u8) -> Result<(), MemError> {
+        let off = self.offset(pa, len)?;
+        self.bytes[off..off + len].fill(byte);
+        Ok(())
+    }
+
+    /// Borrow of the raw range (used by hashing/dump code on hot paths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn slice(&self, pa: u64, len: usize) -> Result<&[u8], MemError> {
+        let off = self.offset(pa, len)?;
+        Ok(&self.bytes[off..off + len])
+    }
+}
+
+/// Cheap-to-clone shared handle to the machine's DRAM.
+///
+/// Uses a read/write lock: the GPU device model, drivers, recorder, and
+/// replayer all hold clones.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    inner: Arc<RwLock<PhysMem>>,
+}
+
+impl SharedMem {
+    /// Wraps `mem` for sharing.
+    pub fn new(mem: PhysMem) -> Self {
+        SharedMem {
+            inner: Arc::new(RwLock::new(mem)),
+        }
+    }
+
+    /// DRAM base address.
+    pub fn base(&self) -> u64 {
+        self.inner.read().base()
+    }
+
+    /// DRAM size in bytes.
+    pub fn size(&self) -> usize {
+        self.inner.read().size()
+    }
+
+    /// One past the last valid physical address.
+    pub fn end(&self) -> u64 {
+        self.inner.read().end()
+    }
+
+    /// `true` when `[pa, pa+len)` lies inside DRAM.
+    pub fn contains(&self, pa: u64, len: usize) -> bool {
+        self.inner.read().contains(pa, len)
+    }
+
+    /// See [`PhysMem::read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read(&self, pa: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        self.inner.read().read(pa, buf)
+    }
+
+    /// See [`PhysMem::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn write(&self, pa: u64, data: &[u8]) -> Result<(), MemError> {
+        self.inner.write().write(pa, data)
+    }
+
+    /// See [`PhysMem::read_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read_u32(&self, pa: u64) -> Result<u32, MemError> {
+        self.inner.read().read_u32(pa)
+    }
+
+    /// See [`PhysMem::write_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn write_u32(&self, pa: u64, val: u32) -> Result<(), MemError> {
+        self.inner.write().write_u32(pa, val)
+    }
+
+    /// See [`PhysMem::read_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read_u64(&self, pa: u64) -> Result<u64, MemError> {
+        self.inner.read().read_u64(pa)
+    }
+
+    /// See [`PhysMem::write_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn write_u64(&self, pa: u64, val: u64) -> Result<(), MemError> {
+        self.inner.write().write_u64(pa, val)
+    }
+
+    /// See [`PhysMem::fill`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn fill(&self, pa: u64, len: usize, byte: u8) -> Result<(), MemError> {
+        self.inner.write().fill(pa, len, byte)
+    }
+
+    /// Copies out `[pa, pa+len)` as a fresh vector (dump capture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn read_vec(&self, pa: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        let g = self.inner.read();
+        Ok(g.slice(pa, len)?.to_vec())
+    }
+
+    /// Runs `f` over the raw bytes of `[pa, pa+len)` without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn with_slice<R>(&self, pa: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R, MemError> {
+        let g = self.inner.read();
+        Ok(f(g.slice(pa, len)?))
+    }
+
+    /// `true` when both handles refer to the same DRAM.
+    pub fn same_memory(&self, other: &SharedMem) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysMem::new(0x8000_0000, 4 * PAGE_SIZE);
+        m.write(0x8000_0010, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read(0x8000_0010, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn scalar_accessors_are_little_endian() {
+        let mut m = PhysMem::new(0, PAGE_SIZE);
+        m.write_u32(0, 0x0102_0304).unwrap();
+        assert_eq!(m.slice(0, 4).unwrap(), &[4, 3, 2, 1]);
+        m.write_u64(8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_u64(8).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error_not_a_panic() {
+        let mut m = PhysMem::new(0x1000, PAGE_SIZE);
+        assert_eq!(
+            m.read_u32(0xfff),
+            Err(MemError { pa: 0xfff, len: 4 })
+        );
+        assert!(m.write(0x1000 + PAGE_SIZE as u64 - 2, &[0; 4]).is_err());
+        // Address arithmetic near u64::MAX must not overflow.
+        assert!(m.read_u32(u64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn fill_and_slice() {
+        let mut m = PhysMem::new(0, PAGE_SIZE);
+        m.fill(16, 8, 0xAB).unwrap();
+        assert_eq!(m.slice(16, 8).unwrap(), &[0xAB; 8]);
+        assert_eq!(m.slice(15, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn shared_handles_alias() {
+        let shared = SharedMem::new(PhysMem::new(0x4000, 2 * PAGE_SIZE));
+        let clone = shared.clone();
+        shared.write_u32(0x4000, 7).unwrap();
+        assert_eq!(clone.read_u32(0x4000).unwrap(), 7);
+        assert!(shared.same_memory(&clone));
+        assert_eq!(shared.read_vec(0x4000, 4).unwrap(), vec![7, 0, 0, 0]);
+        let sum = shared
+            .with_slice(0x4000, 4, |s| s.iter().map(|&b| u32::from(b)).sum::<u32>())
+            .unwrap();
+        assert_eq!(sum, 7);
+        assert!(shared.contains(0x4000, PAGE_SIZE));
+        assert_eq!(shared.end(), 0x4000 + 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_size_panics() {
+        let _ = PhysMem::new(0, 100);
+    }
+}

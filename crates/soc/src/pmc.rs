@@ -1,0 +1,298 @@
+//! The SoC power/clock controller (PMC).
+//!
+//! §6.3 of the paper: "Modern GPUs depend on power/clock domains at the SoC
+//! level. [...] the baremetal replayer must configure GPU power and clocks
+//! itself", by replaying the register/firmware accesses extracted from the
+//! kernel. This module is that controller: a register-programmed block with
+//! per-domain power switches (with settle delays) and clock dividers.
+//!
+//! Register map (domain `d`, stride `0x10`):
+//!
+//! | offset            | register       | behaviour |
+//! |-------------------|----------------|-----------|
+//! | `0x00 + d*0x10`   | `PWR_CTRL`     | write 1: begin power-up; write 0: immediate power-down |
+//! | `0x04 + d*0x10`   | `PWR_STATUS`   | 0 = off, 1 = settling, 2 = on |
+//! | `0x08 + d*0x10`   | `CLK_RATE`     | clock in MHz (read/write; writes while on re-settle briefly) |
+
+use std::sync::Arc;
+
+use gr_sim::{SimClock, SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::mmio::Mmio;
+
+/// Power domains the machine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PmcDomain {
+    /// GPU shader cores + job/control front-end.
+    GpuCore,
+    /// GPU MMU/L2 complex.
+    GpuMem,
+}
+
+impl PmcDomain {
+    /// All domains, in register order.
+    pub const ALL: [PmcDomain; 2] = [PmcDomain::GpuCore, PmcDomain::GpuMem];
+
+    /// Register-bank index of the domain.
+    pub fn index(self) -> usize {
+        match self {
+            PmcDomain::GpuCore => 0,
+            PmcDomain::GpuMem => 1,
+        }
+    }
+}
+
+/// `PWR_STATUS` values.
+pub const PWR_STATUS_OFF: u32 = 0;
+/// Domain is ramping; not yet usable.
+pub const PWR_STATUS_SETTLING: u32 = 1;
+/// Domain powered and stable.
+pub const PWR_STATUS_ON: u32 = 2;
+
+/// How long a domain takes to stabilize after power-on or a clock change.
+/// Real SoCs take tens to hundreds of microseconds; the driver comments the
+/// paper cites (`kbase_pm_init_hw`, `gm20b_tegra_unrailgate`) pace exactly
+/// this interval.
+pub const SETTLE_DELAY: SimDuration = SimDuration::from_micros(200);
+
+#[derive(Debug, Clone, Copy)]
+struct DomainState {
+    powered: bool,
+    settle_until: SimTime,
+    clock_mhz: u32,
+}
+
+/// The power/clock controller block.
+#[derive(Debug)]
+pub struct Pmc {
+    clock: SimClock,
+    domains: [DomainState; 2],
+    default_mhz: [u32; 2],
+}
+
+impl Pmc {
+    /// Creates a PMC with all domains off and default clock plans.
+    pub fn new(clock: SimClock) -> Self {
+        let default = DomainState {
+            powered: false,
+            settle_until: SimTime::ZERO,
+            clock_mhz: 0,
+        };
+        Pmc {
+            clock,
+            domains: [default; 2],
+            default_mhz: [600, 800], // core, mem: typical mobile GPU rates
+        }
+    }
+
+    /// `true` when `domain` is powered and past its settle window.
+    pub fn is_stable(&self, domain: PmcDomain) -> bool {
+        let d = &self.domains[domain.index()];
+        d.powered && self.clock.now() >= d.settle_until
+    }
+
+    /// Current clock of `domain` in MHz (0 when off).
+    pub fn clock_mhz(&self, domain: PmcDomain) -> u32 {
+        let d = &self.domains[domain.index()];
+        if d.powered {
+            d.clock_mhz
+        } else {
+            0
+        }
+    }
+
+    /// Byte offset of `PWR_CTRL` for `domain`.
+    pub fn pwr_ctrl_off(domain: PmcDomain) -> u32 {
+        (domain.index() as u32) * 0x10
+    }
+
+    /// Byte offset of `PWR_STATUS` for `domain`.
+    pub fn pwr_status_off(domain: PmcDomain) -> u32 {
+        (domain.index() as u32) * 0x10 + 4
+    }
+
+    /// Byte offset of `CLK_RATE` for `domain`.
+    pub fn clk_rate_off(domain: PmcDomain) -> u32 {
+        (domain.index() as u32) * 0x10 + 8
+    }
+
+    fn domain_of(off: u32) -> Option<(usize, u32)> {
+        let d = (off / 0x10) as usize;
+        if d < 2 {
+            Some((d, off % 0x10))
+        } else {
+            None
+        }
+    }
+}
+
+impl Mmio for Pmc {
+    fn read32(&mut self, off: u32) -> u32 {
+        let Some((d, reg)) = Pmc::domain_of(off) else {
+            return 0;
+        };
+        let now = self.clock.now();
+        let st = &self.domains[d];
+        match reg {
+            0x0 => u32::from(st.powered),
+            0x4 => {
+                if !st.powered {
+                    PWR_STATUS_OFF
+                } else if now < st.settle_until {
+                    PWR_STATUS_SETTLING
+                } else {
+                    PWR_STATUS_ON
+                }
+            }
+            0x8 => st.clock_mhz,
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, off: u32, val: u32) {
+        let Some((d, reg)) = Pmc::domain_of(off) else {
+            return;
+        };
+        let now = self.clock.now();
+        let st = &mut self.domains[d];
+        match reg {
+            0x0 => {
+                if val & 1 != 0 {
+                    if !st.powered {
+                        st.powered = true;
+                        st.settle_until = now + SETTLE_DELAY;
+                        if st.clock_mhz == 0 {
+                            st.clock_mhz = self.default_mhz[d];
+                        }
+                    }
+                } else {
+                    st.powered = false;
+                    st.clock_mhz = 0;
+                }
+            }
+            0x8 => {
+                st.clock_mhz = val;
+                if st.powered {
+                    st.settle_until = now + SETTLE_DELAY;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared handle to the PMC; the GPU device model, the kernel drivers, the
+/// firmware mailbox, and the baremetal replayer all hold clones.
+#[derive(Debug, Clone)]
+pub struct SharedPmc {
+    inner: Arc<Mutex<Pmc>>,
+}
+
+impl SharedPmc {
+    /// Wraps a PMC for sharing.
+    pub fn new(pmc: Pmc) -> Self {
+        SharedPmc {
+            inner: Arc::new(Mutex::new(pmc)),
+        }
+    }
+
+    /// See [`Pmc::is_stable`].
+    pub fn is_stable(&self, domain: PmcDomain) -> bool {
+        self.inner.lock().is_stable(domain)
+    }
+
+    /// See [`Pmc::clock_mhz`].
+    pub fn clock_mhz(&self, domain: PmcDomain) -> u32 {
+        self.inner.lock().clock_mhz(domain)
+    }
+
+    /// Register write through the shared handle.
+    pub fn write32(&self, off: u32, val: u32) {
+        self.inner.lock().write32(off, val);
+    }
+
+    /// Register read through the shared handle.
+    pub fn read32(&self, off: u32) -> u32 {
+        self.inner.lock().read32(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> (SimClock, Pmc) {
+        let clock = SimClock::new();
+        let pmc = Pmc::new(clock.clone());
+        (clock, pmc)
+    }
+
+    #[test]
+    fn power_up_requires_settle() {
+        let (clock, mut pmc) = mk();
+        let ctrl = Pmc::pwr_ctrl_off(PmcDomain::GpuCore);
+        let status = Pmc::pwr_status_off(PmcDomain::GpuCore);
+        assert_eq!(pmc.read32(status), PWR_STATUS_OFF);
+        pmc.write32(ctrl, 1);
+        assert_eq!(pmc.read32(status), PWR_STATUS_SETTLING);
+        assert!(!pmc.is_stable(PmcDomain::GpuCore));
+        clock.advance(SETTLE_DELAY);
+        assert_eq!(pmc.read32(status), PWR_STATUS_ON);
+        assert!(pmc.is_stable(PmcDomain::GpuCore));
+        assert_eq!(pmc.clock_mhz(PmcDomain::GpuCore), 600);
+    }
+
+    #[test]
+    fn power_down_is_immediate() {
+        let (clock, mut pmc) = mk();
+        pmc.write32(Pmc::pwr_ctrl_off(PmcDomain::GpuMem), 1);
+        clock.advance(SETTLE_DELAY);
+        assert!(pmc.is_stable(PmcDomain::GpuMem));
+        pmc.write32(Pmc::pwr_ctrl_off(PmcDomain::GpuMem), 0);
+        assert!(!pmc.is_stable(PmcDomain::GpuMem));
+        assert_eq!(pmc.clock_mhz(PmcDomain::GpuMem), 0);
+    }
+
+    #[test]
+    fn clock_change_resettles() {
+        let (clock, mut pmc) = mk();
+        let d = PmcDomain::GpuCore;
+        pmc.write32(Pmc::pwr_ctrl_off(d), 1);
+        clock.advance(SETTLE_DELAY);
+        pmc.write32(Pmc::clk_rate_off(d), 300);
+        assert!(!pmc.is_stable(d), "clock change must re-settle");
+        clock.advance(SETTLE_DELAY);
+        assert!(pmc.is_stable(d));
+        assert_eq!(pmc.read32(Pmc::clk_rate_off(d)), 300);
+    }
+
+    #[test]
+    fn unknown_offsets_are_inert() {
+        let (_, mut pmc) = mk();
+        pmc.write32(0x1000, 77);
+        assert_eq!(pmc.read32(0x1000), 0);
+        assert_eq!(pmc.read32(0x0C), 0, "hole inside a domain bank");
+    }
+
+    #[test]
+    fn shared_handle_aliases() {
+        let (clock, pmc) = mk();
+        let shared = SharedPmc::new(pmc);
+        let other = shared.clone();
+        shared.write32(Pmc::pwr_ctrl_off(PmcDomain::GpuCore), 1);
+        clock.advance(SETTLE_DELAY);
+        assert!(other.is_stable(PmcDomain::GpuCore));
+        assert_eq!(other.read32(Pmc::pwr_status_off(PmcDomain::GpuCore)), PWR_STATUS_ON);
+    }
+
+    #[test]
+    fn redundant_power_on_does_not_restart_settle() {
+        let (clock, mut pmc) = mk();
+        let d = PmcDomain::GpuCore;
+        pmc.write32(Pmc::pwr_ctrl_off(d), 1);
+        clock.advance(SETTLE_DELAY);
+        pmc.write32(Pmc::pwr_ctrl_off(d), 1);
+        assert!(pmc.is_stable(d), "idempotent power-on must stay stable");
+    }
+}

@@ -1,0 +1,92 @@
+//! Modeled CPU costs of the full GPU stack.
+//!
+//! These constants are the knobs that make virtual-time delays land in the
+//! regimes the paper reports (seconds of stack startup dominated by JIT
+//! and memory management; per-job overheads of tens to hundreds of
+//! microseconds; 48 MB runtime binaries taking hundreds of milliseconds to
+//! initialize). They are calibrated against Figures 5–8, not measured from
+//! real silicon — see DESIGN.md.
+
+use gr_sim::SimDuration;
+
+/// Entering the kernel for an ioctl (crossing + argument validation).
+pub const IOCTL_ENTRY: SimDuration = SimDuration::from_micros(9);
+
+/// Driver probe: device discovery, feature probing, PM policy setup.
+pub const DRIVER_PROBE: SimDuration = SimDuration::from_millis(16);
+
+/// Kernel-side memory-manager initialization (first allocation pays it).
+pub const MEM_MGR_INIT: SimDuration = SimDuration::from_millis(34);
+
+/// Per-page cost of allocating + zeroing GPU memory.
+pub const ALLOC_PER_PAGE: SimDuration = SimDuration::from_nanos(900);
+
+/// Per-page cost of page-table insertion (`kbase_mmu_insert_pages`).
+pub const MAP_PER_PAGE: SimDuration = SimDuration::from_nanos(650);
+
+/// Per-page cost of CPU↔GPU data movement through the driver mapping.
+pub const COPY_PER_PAGE: SimDuration = SimDuration::from_nanos(480);
+
+/// Kernel-side job submission bookkeeping (dep tracking, slot scheduling).
+pub const JOB_SUBMIT_CPU: SimDuration = SimDuration::from_micros(24);
+
+/// Top + bottom half of the job-done interrupt.
+pub const IRQ_HANDLER: SimDuration = SimDuration::from_micros(7);
+
+/// Loading and relocating the proprietary runtime (libmali.so is 48 MB).
+pub const RUNTIME_INIT: SimDuration = SimDuration::from_millis(320);
+
+/// Runtime-side buffer object creation.
+pub const BUFFER_CREATE: SimDuration = SimDuration::from_micros(15);
+
+/// Runtime-side command emission per job (filling command arrays).
+pub const JOB_EMIT: SimDuration = SimDuration::from_micros(95);
+
+/// JIT-compiling one convolution kernel variant (ACL tunes per shape).
+pub const JIT_CONV: SimDuration = SimDuration::from_millis(240);
+
+/// JIT-compiling one GEMM/fully-connected variant.
+pub const JIT_GEMM: SimDuration = SimDuration::from_millis(130);
+
+/// JIT-compiling a simple elementwise/pool/softmax kernel.
+pub const JIT_SIMPLE: SimDuration = SimDuration::from_millis(36);
+
+/// Modeled resident size of the runtime + driver state (§7.3: the stack's
+/// CPU footprint is 220–310 MB).
+pub const STACK_BASE_RSS: u64 = 210 * 1024 * 1024;
+
+/// Modeled per-job CPU-side allocation (contexts, command buffers).
+pub const STACK_PER_JOB_RSS: u64 = 512 * 1024;
+
+/// Picks the JIT cost for a kernel-cache key (by mnemonic prefix).
+pub fn jit_cost(kind_key: &str) -> SimDuration {
+    if kind_key.starts_with("conv") || kind_key.starts_with("im2col") {
+        JIT_CONV
+    } else if kind_key.starts_with("fc") || kind_key.starts_with("matmul") || kind_key.starts_with("mm_") {
+        JIT_GEMM
+    } else {
+        JIT_SIMPLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jit_costs_rank_by_complexity() {
+        assert!(jit_cost("conv2d/3x3") > jit_cost("fc/128"));
+        assert!(jit_cost("fc/128") > jit_cost("relu/64"));
+        assert_eq!(jit_cost("im2col/x"), JIT_CONV);
+        assert_eq!(jit_cost("mm_gw/a"), JIT_GEMM);
+        assert_eq!(jit_cost("softmax/10"), JIT_SIMPLE);
+    }
+
+    #[test]
+    fn startup_dominates_per_job_costs() {
+        // Sanity: one JIT compile outweighs hundreds of job submissions,
+        // which is the imbalance Figure 5/6 rest on.
+        assert!(JIT_CONV.as_nanos() > 100 * (JOB_SUBMIT_CPU + JOB_EMIT).as_nanos());
+        assert!(RUNTIME_INIT > DRIVER_PROBE);
+    }
+}

@@ -1,0 +1,664 @@
+//! The Mali-family kernel driver (kbase-style).
+//!
+//! Owns GPU power bring-up (direct PMC programming), the GPU address
+//! space, job submission through the `JS0` slot (synchronous, or
+//! double-buffered via the `_NEXT` registers for the Fig. 3 async
+//! baseline), and interrupt handling. Every hardware interaction funnels
+//! through hooked accessors so a [`RecorderSink`] observes exactly what
+//! the paper's instrumentation observes.
+
+use std::sync::Arc;
+
+use gr_gpu::machine::{Machine, WaitOutcome};
+use gr_gpu::mali::pgtable::{self, PteFlags};
+use gr_gpu::mali::regs as r;
+use gr_gpu::sku::GpuFamilyKind;
+use gr_sim::{MemAccount, SimDuration};
+use gr_soc::pmc::{Pmc, PmcDomain, PWR_STATUS_ON};
+use gr_soc::PAGE_SIZE;
+
+use crate::costs;
+use crate::driver::vaspace::{Region, VaSpace};
+use crate::driver::{DriverError, RegionKind};
+use crate::hooks::{DumpCtx, JobRoot, RecorderSink, RegionSnapshot};
+
+/// GPU VA where the driver's heap starts.
+const HEAP_BASE: u64 = 0x0100_0000;
+/// Poll cadence for register waits.
+const POLL_INTERVAL: SimDuration = SimDuration::from_micros(2);
+/// Budget for reset/flush register waits.
+const CTRL_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+/// Budget for job completion (paper example: `WaitIRQ timeout=10 sec`).
+pub const JOB_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// The Mali kernel driver instance.
+pub struct MaliDriver {
+    machine: Machine,
+    vaspace: VaSpace,
+    root_pa: u64,
+    hooks: Option<Arc<dyn RecorderSink>>,
+    sync: bool,
+    outstanding: u32,
+    mem_inited: bool,
+    rss: MemAccount,
+    jobs_submitted: u64,
+    last_head: u64,
+}
+
+impl std::fmt::Debug for MaliDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaliDriver")
+            .field("sku", &self.machine.sku().name)
+            .field("jobs_submitted", &self.jobs_submitted)
+            .finish()
+    }
+}
+
+impl MaliDriver {
+    /// Probes the device: powers it, resets it, brings up shader cores and
+    /// the MMU. `sync` selects synchronous job submission (queue depth 1,
+    /// required while recording) vs the async depth-2 baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails on power/reset timeouts or an unknown GPU ID.
+    pub fn probe(
+        machine: Machine,
+        hooks: Option<Arc<dyn RecorderSink>>,
+        sync: bool,
+    ) -> Result<Self, DriverError> {
+        assert_eq!(
+            machine.sku().family,
+            GpuFamilyKind::Mali,
+            "MaliDriver requires a Mali-family machine"
+        );
+        machine.advance(costs::DRIVER_PROBE);
+        let rss = MemAccount::new();
+        rss.alloc(costs::STACK_BASE_RSS);
+
+        // Power bring-up: direct PMC programming (kbase_pm style). Not part
+        // of the GPU register trace — user/kernel replayers inherit it.
+        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+            machine.pmc().write32(Pmc::pwr_ctrl_off(domain), 1);
+        }
+        let deadline = machine.now() + SimDuration::from_millis(10);
+        while machine.now() < deadline {
+            let core = machine.pmc().read32(Pmc::pwr_status_off(PmcDomain::GpuCore));
+            let mem = machine.pmc().read32(Pmc::pwr_status_off(PmcDomain::GpuMem));
+            if core == PWR_STATUS_ON && mem == PWR_STATUS_ON {
+                break;
+            }
+            machine.advance(SimDuration::from_micros(20));
+        }
+        if !machine.pmc().is_stable(PmcDomain::GpuCore) {
+            return Err(DriverError::PowerFailure);
+        }
+
+        let mut drv = MaliDriver {
+            machine,
+            vaspace: VaSpace::new(HEAP_BASE, pgtable::VA_SPACE_SIZE),
+            root_pa: 0,
+            hooks,
+            sync,
+            outstanding: 0,
+            mem_inited: false,
+            rss,
+            jobs_submitted: 0,
+            last_head: 0,
+        };
+
+        let id = drv.rd(r::GPU_ID);
+        if gr_gpu::sku::sku_by_id(id).is_none() {
+            return Err(DriverError::UnknownDevice(id));
+        }
+        drv.reset_and_bring_up()?;
+        Ok(drv)
+    }
+
+    /// The machine this driver drives.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Modeled CPU memory footprint of the stack (§7.3).
+    pub fn rss(&self) -> &MemAccount {
+        &self.rss
+    }
+
+    /// Jobs submitted so far.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted
+    }
+
+    /// Peak GPU pages ever mapped (Table 6 accounting).
+    pub fn peak_mapped_pages(&self) -> u64 {
+        self.vaspace.peak_pages()
+    }
+
+    fn rd(&self, reg: u32) -> u32 {
+        let val = self.machine.gpu_read32(reg);
+        if let Some(h) = &self.hooks {
+            h.reg_read(reg, val);
+        }
+        val
+    }
+
+    fn wr(&self, reg: u32, val: u32) {
+        if let Some(h) = &self.hooks {
+            h.reg_write(reg, val);
+        }
+        self.machine.gpu_write32(reg, val);
+    }
+
+    /// Hooked polling wait (`wait_for()` seam).
+    fn poll(&self, reg: u32, mask: u32, want: u32, timeout: SimDuration) -> Result<(), DriverError> {
+        let (val, polls) = self.machine.poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
+        if let Some(h) = &self.hooks {
+            h.poll(reg, mask, want, polls, timeout);
+        }
+        if val & mask == want {
+            Ok(())
+        } else {
+            Err(DriverError::Timeout)
+        }
+    }
+
+    fn reset_and_bring_up(&mut self) -> Result<(), DriverError> {
+        // Soft reset and wait for RESET_COMPLETED.
+        self.wr(r::GPU_COMMAND, r::GPU_CMD_SOFT_RESET);
+        self.poll(
+            r::GPU_IRQ_RAWSTAT,
+            r::GPU_IRQ_RESET_COMPLETED,
+            r::GPU_IRQ_RESET_COMPLETED,
+            CTRL_TIMEOUT,
+        )?;
+        self.wr(r::GPU_IRQ_CLEAR, r::GPU_IRQ_RESET_COMPLETED);
+
+        // Interrupt masks.
+        self.wr(r::JOB_IRQ_MASK, 0xFFFF_FFFF);
+        self.wr(r::MMU_IRQ_MASK, 0xFFFF_FFFF);
+        self.wr(r::GPU_IRQ_MASK, 0xFFFF_FFFF);
+
+        // Shader cores.
+        let present = self.rd(r::SHADER_PRESENT);
+        self.wr(r::SHADER_PWRON, present);
+        self.poll(r::SHADER_READY, present, present, CTRL_TIMEOUT)?;
+
+        // MMU: allocate (or re-point at) the root table.
+        if self.root_pa == 0 {
+            let root = self
+                .machine
+                .frames()
+                .lock()
+                .alloc_zeroed(self.machine.mem())
+                .map_err(|_| DriverError::OutOfMemory)?
+                .ok_or(DriverError::OutOfMemory)?;
+            self.root_pa = root;
+        }
+        self.set_pgtable()?;
+        Ok(())
+    }
+
+    fn set_pgtable(&mut self) -> Result<(), DriverError> {
+        // The table-base write is recorded as SetGpuPgtable (the replayer
+        // substitutes its own base); TRANSCFG and the UPDATE command are
+        // recorded verbatim — TRANSCFG is a §6.4 patch target.
+        if let Some(h) = &self.hooks {
+            h.pgtable_set();
+        }
+        self.machine.gpu_write32(r::AS0_TRANSTAB_LO, self.root_pa as u32);
+        self.machine
+            .gpu_write32(r::AS0_TRANSTAB_HI, (self.root_pa >> 32) as u32);
+        let mut cfg = r::TRANSCFG_ENABLE;
+        if self.machine.sku().requires_rd_alloc {
+            cfg |= r::TRANSCFG_RD_ALLOC;
+        }
+        self.wr(r::AS0_TRANSCFG, cfg);
+        self.wr(r::AS0_COMMAND, r::AS_CMD_UPDATE);
+        Ok(())
+    }
+
+    fn flags_for(&self, kind: RegionKind) -> PteFlags {
+        match kind {
+            RegionKind::JobBinary => PteFlags::exec_cpu(),
+            RegionKind::Data => PteFlags::rw_cpu(),
+            RegionKind::Internal | RegionKind::Scratch => PteFlags::internal(),
+        }
+    }
+
+    /// Allocates and maps `pages` of GPU memory (`MEM_ALLOC` ioctl).
+    ///
+    /// # Errors
+    ///
+    /// Fails when physical frames or VA space run out.
+    pub fn alloc_region(&mut self, pages: usize, kind: RegionKind) -> Result<u64, DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY);
+        if !self.mem_inited {
+            self.machine.advance(costs::MEM_MGR_INIT);
+            self.mem_inited = true;
+        }
+        self.machine
+            .advance(costs::ALLOC_PER_PAGE * pages as u64 + costs::MAP_PER_PAGE * pages as u64);
+        let va = self.vaspace.reserve(pages)?;
+        let flags = self.flags_for(kind);
+        let fmt = self.machine.sku().pte_format;
+        let mut pas = Vec::with_capacity(pages);
+        {
+            let mut frames = self.machine.frames().lock();
+            for i in 0..pages {
+                let pa = frames
+                    .alloc_zeroed(self.machine.mem())
+                    .map_err(|_| DriverError::OutOfMemory)?
+                    .ok_or(DriverError::OutOfMemory)?;
+                pgtable::map_page(
+                    self.machine.mem(),
+                    &mut frames,
+                    fmt,
+                    self.root_pa,
+                    va + (i * PAGE_SIZE) as u64,
+                    pa,
+                    flags,
+                )
+                .map_err(|_| DriverError::OutOfMemory)?;
+                pas.push(pa);
+            }
+        }
+        let pte_bits = pgtable::encode_flags(fmt, flags) as u16;
+        let region = Region {
+            va,
+            pages,
+            kind,
+            pas,
+            pte_flags: vec![pte_bits; pages],
+        };
+        if let Some(h) = &self.hooks {
+            h.map(va, kind, &region.pte_flags);
+        }
+        self.vaspace.insert(region);
+        self.rss.alloc(4 * 1024); // kernel bookkeeping per region
+        Ok(va)
+    }
+
+    /// Unmaps and frees the region at `va` (`MEM_FREE` ioctl).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `va` is not a region base.
+    pub fn free_region(&mut self, va: u64) -> Result<(), DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY);
+        let region = self.vaspace.remove(va)?;
+        let fmt = self.machine.sku().pte_format;
+        {
+            let mut frames = self.machine.frames().lock();
+            for i in 0..region.pages {
+                let page_va = va + (i * PAGE_SIZE) as u64;
+                if let Ok(Some(pa)) =
+                    pgtable::unmap_page(self.machine.mem(), fmt, self.root_pa, page_va)
+                {
+                    let _ = frames.free(pa);
+                }
+            }
+        }
+        if let Some(h) = &self.hooks {
+            h.unmap(va);
+        }
+        self.rss.free(4 * 1024);
+        Ok(())
+    }
+
+    /// CPU→GPU copy through the driver mapping (input injection path).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn write_gpu(&self, va: u64, data: &[u8]) -> Result<(), DriverError> {
+        self.machine
+            .advance(costs::COPY_PER_PAGE * (data.len() / PAGE_SIZE + 1) as u64);
+        self.vaspace.cpu_write(self.machine.mem(), va, data)?;
+        if let Some(h) = &self.hooks {
+            h.copy_to_gpu(va, data.len());
+        }
+        Ok(())
+    }
+
+    /// GPU→CPU copy (output extraction path).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn read_gpu(&self, va: u64, out: &mut [u8]) -> Result<(), DriverError> {
+        self.machine
+            .advance(costs::COPY_PER_PAGE * (out.len() / PAGE_SIZE + 1) as u64);
+        self.vaspace.cpu_read(self.machine.mem(), va, out)?;
+        if let Some(h) = &self.hooks {
+            h.copy_from_gpu(va, out.len());
+        }
+        Ok(())
+    }
+
+    /// Kernel-bypassing mmap write — the path the proprietary runtime uses
+    /// to emit job binaries *without the driver (or recorder) seeing it*.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn mmap_write(&self, va: u64, data: &[u8]) -> Result<(), DriverError> {
+        self.vaspace.cpu_write(self.machine.mem(), va, data)
+    }
+
+    fn snapshot_regions(&self) -> Vec<RegionSnapshot> {
+        self.vaspace
+            .iter()
+            .map(|r| RegionSnapshot {
+                va: r.va,
+                pages: r.pages,
+                kind: r.kind,
+                pte_flags: r.pte_flags.clone(),
+                pas: r.pas.clone(),
+            })
+            .collect()
+    }
+
+    fn kick(&mut self, chain_va: u64, affinity: u32) {
+        self.machine.advance(costs::JOB_SUBMIT_CPU);
+        self.last_head = chain_va;
+        // §4.3: dump right before the kick.
+        if let Some(h) = &self.hooks {
+            let regions = self.snapshot_regions();
+            let ctx = DumpCtx {
+                mem: self.machine.mem(),
+                regions: &regions,
+                root: JobRoot::MaliChain { head_va: chain_va },
+            };
+            h.pre_job_submit(&ctx);
+        }
+        self.wr(r::JS0_HEAD_LO, chain_va as u32);
+        self.wr(r::JS0_HEAD_HI, (chain_va >> 32) as u32);
+        self.wr(r::JS0_AFFINITY, affinity);
+        self.wr(r::JS0_CONFIG, 0);
+        self.wr(r::JS0_COMMAND, r::JS_CMD_START);
+        if let Some(h) = &self.hooks {
+            h.gpu_phase(true);
+        }
+        self.jobs_submitted += 1;
+        self.rss.alloc(costs::STACK_PER_JOB_RSS);
+        self.rss.free(costs::STACK_PER_JOB_RSS); // transient per-job state
+    }
+
+    fn wait_job_irq(&mut self) -> Result<(), DriverError> {
+        if !self.sync {
+            // Collapsed-completion race: with the depth-2 queue, two jobs
+            // can both finish while the CPU is off emitting work, latching
+            // the per-slot DONE bit once for both. If nothing is pending
+            // and the GPU is idle, the completions were coalesced — check
+            // the slot state instead of waiting (what kbase does).
+            self.machine.tick_gpu();
+            if self.outstanding > 0
+                && !self.machine.irq().pending(r::irq_lines::JOB)
+                && !self.machine.gpu_busy()
+                && self.machine.next_gpu_event().is_none()
+            {
+                let js = self.rd(r::JS0_STATUS);
+                self.outstanding = self.outstanding.saturating_sub(1);
+                if js != r::JS_STATUS_COMPLETED {
+                    return Err(DriverError::JobFault { code: js });
+                }
+                return Ok(());
+            }
+        }
+        if let Some(h) = &self.hooks {
+            h.wait_irq(r::irq_lines::JOB.0, JOB_TIMEOUT);
+        }
+        match self.machine.wait_irq(r::irq_lines::JOB, JOB_TIMEOUT) {
+            WaitOutcome::Irq => {}
+            WaitOutcome::Timeout => return Err(DriverError::Timeout),
+        }
+        // Interrupt handler (top half).
+        if let Some(h) = &self.hooks {
+            h.irq_context(true);
+        }
+        self.machine.advance(costs::IRQ_HANDLER);
+        let status = self.rd(r::JOB_IRQ_STATUS);
+        self.wr(r::JOB_IRQ_CLEAR, status);
+        // In sync mode the slot must sit at COMPLETED; with the async
+        // double buffer the next job may already be ACTIVE again, so only
+        // the per-slot IRQ bits are authoritative (as in kbase).
+        let js = self.rd(r::JS0_STATUS);
+        let slot_bad = self.sync && js != r::JS_STATUS_COMPLETED;
+        if let Some(h) = &self.hooks {
+            h.irq_context(false);
+            h.gpu_phase(false);
+            let regions = self.snapshot_regions();
+            let ctx = DumpCtx {
+                mem: self.machine.mem(),
+                regions: &regions,
+                root: JobRoot::MaliChain { head_va: self.last_head },
+            };
+            h.post_job_complete(&ctx);
+        }
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if status & r::JOB_IRQ_FAIL0 != 0 || slot_bad {
+            let fault = self.rd(r::AS0_FAULTSTATUS);
+            return Err(DriverError::JobFault { code: fault });
+        }
+        Ok(())
+    }
+
+    /// Submits the chain at `chain_va` on all present cores and (in sync
+    /// mode) waits for completion.
+    ///
+    /// In async mode the job may be double-buffered behind a running one;
+    /// call [`MaliDriver::wait_all`] to drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::JobFault`] / [`DriverError::Timeout`] on
+    /// hardware failures.
+    pub fn submit(&mut self, chain_va: u64) -> Result<(), DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY);
+        let affinity = (1u32 << self.machine.sku().cores) - 1;
+        if self.sync {
+            self.kick(chain_va, affinity);
+            self.outstanding = 1;
+            return self.wait_job_irq();
+        }
+        // Async: depth-2 via the NEXT registers.
+        if self.outstanding == 2 {
+            self.wait_job_irq()?;
+        }
+        if self.outstanding == 0 {
+            self.kick(chain_va, affinity);
+            self.outstanding = 1;
+        } else {
+            self.machine.advance(costs::JOB_SUBMIT_CPU);
+            if let Some(h) = &self.hooks {
+                let regions = self.snapshot_regions();
+                let ctx = DumpCtx {
+                    mem: self.machine.mem(),
+                    regions: &regions,
+                    root: JobRoot::MaliChain { head_va: chain_va },
+                };
+                h.pre_job_submit(&ctx);
+            }
+            self.wr(r::JS0_HEAD_NEXT_LO, chain_va as u32);
+            self.wr(r::JS0_HEAD_NEXT_HI, (chain_va >> 32) as u32);
+            self.wr(r::JS0_AFFINITY_NEXT, affinity);
+            self.wr(r::JS0_COMMAND_NEXT, r::JS_CMD_START);
+            self.jobs_submitted += 1;
+            self.outstanding = 2;
+        }
+        Ok(())
+    }
+
+    /// Drains all outstanding async jobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates job faults/timeouts.
+    pub fn wait_all(&mut self) -> Result<(), DriverError> {
+        while self.outstanding > 0 {
+            self.wait_job_irq()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes GPU caches (polled, like `kbase_cache_clean_worker`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Timeout`] if the flush never completes.
+    pub fn cache_flush(&mut self) -> Result<(), DriverError> {
+        self.wr(r::GPU_COMMAND, r::GPU_CMD_CLEAN_CACHES);
+        self.poll(
+            r::GPU_IRQ_RAWSTAT,
+            r::GPU_IRQ_CLEAN_CACHES_COMPLETED,
+            r::GPU_IRQ_CLEAN_CACHES_COMPLETED,
+            CTRL_TIMEOUT,
+        )?;
+        self.wr(r::GPU_IRQ_CLEAR, r::GPU_IRQ_CLEAN_CACHES_COMPLETED);
+        Ok(())
+    }
+
+    /// Soft-resets the GPU and re-runs bring-up (recovery path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bring-up failures.
+    pub fn recover(&mut self) -> Result<(), DriverError> {
+        self.outstanding = 0;
+        self.reset_and_bring_up()
+    }
+
+    /// Tears the driver down: frees all GPU memory and powers off.
+    pub fn teardown(mut self) {
+        let vas: Vec<u64> = self.vaspace.iter().map(|r| r.va).collect();
+        for va in vas {
+            let _ = self.free_region(va);
+        }
+        if self.root_pa != 0 {
+            // Free the L2 tables map_page grew on demand, then the root.
+            for l1_idx in 0..512u64 {
+                if let Ok(l1) = self.machine.mem().read_u64(self.root_pa + l1_idx * 8) {
+                    if l1 & 1 != 0 {
+                        let _ = self
+                            .machine
+                            .frames()
+                            .lock()
+                            .free(l1 & 0x0000_FFFF_FFFF_F000);
+                    }
+                }
+            }
+            let _ = self.machine.frames().lock().free(self.root_pa);
+        }
+        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+            self.machine.pmc().write32(Pmc::pwr_ctrl_off(domain), 0);
+        }
+        self.rss.free(costs::STACK_BASE_RSS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::mali::jobs::JobHeader;
+    use gr_gpu::sku::MALI_G71;
+    use gr_gpu::timing::JobCost;
+    use gr_gpu::vm::bytecode::{ActKind, KernelOp};
+    use gr_gpu::Machine;
+
+    fn f32s(vals: &[f32]) -> Vec<u8> {
+        let mut b = Vec::new();
+        for v in vals {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn probe_and_vecadd_roundtrip() {
+        let machine = Machine::new(&MALI_G71, 11);
+        let mut drv = MaliDriver::probe(machine, None, true).unwrap();
+        let chain = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
+        let data = drv.alloc_region(1, RegionKind::Data).unwrap();
+        drv.write_gpu(data, &f32s(&[1., 2., 3., 10., 20., 30.])).unwrap();
+        let op = KernelOp::EltwiseAdd {
+            a: data,
+            b: data + 12,
+            out: data + 24,
+            n: 3,
+            act: ActKind::None,
+        };
+        let blob = op.encode();
+        let header = JobHeader {
+            next_va: 0,
+            shader_va: chain + 0x100,
+            shader_len: blob.len() as u32,
+            cost: JobCost { flops: 3, bytes: 24 },
+        };
+        drv.mmap_write(chain, &header.encode()).unwrap();
+        drv.mmap_write(chain + 0x100, &blob).unwrap();
+        drv.submit(chain).unwrap();
+        let mut out = vec![0u8; 12];
+        drv.read_gpu(data + 24, &mut out).unwrap();
+        assert_eq!(out, f32s(&[11., 22., 33.]));
+        assert_eq!(drv.jobs_submitted(), 1);
+        assert!(drv.peak_mapped_pages() >= 2);
+        drv.teardown();
+    }
+
+    #[test]
+    fn async_mode_overlaps_submissions() {
+        // Submit 4 compute-heavy jobs sync vs async; async finishes sooner.
+        let elapsed = |sync: bool| -> u64 {
+            let machine = Machine::new(&MALI_G71, 5);
+            let mut drv = MaliDriver::probe(machine.clone(), None, sync).unwrap();
+            let chain = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
+            let data = drv.alloc_region(1, RegionKind::Data).unwrap();
+            let op = KernelOp::Fill { out: data, n: 4, value: 1.0 };
+            let blob = op.encode();
+            let header = JobHeader {
+                next_va: 0,
+                shader_va: chain + 0x100,
+                shader_len: blob.len() as u32,
+                cost: JobCost { flops: 60_000_000, bytes: 0 },
+            };
+            drv.mmap_write(chain, &header.encode()).unwrap();
+            drv.mmap_write(chain + 0x100, &blob).unwrap();
+            let t0 = machine.now();
+            for _ in 0..4 {
+                drv.submit(chain).unwrap();
+            }
+            drv.wait_all().unwrap();
+            let dt = (machine.now() - t0).as_nanos();
+            drv.teardown();
+            dt
+        };
+        let sync_t = elapsed(true);
+        let async_t = elapsed(false);
+        assert!(
+            async_t < sync_t,
+            "async {async_t} should beat sync {sync_t}"
+        );
+    }
+
+    #[test]
+    fn cache_flush_and_recover() {
+        let machine = Machine::new(&MALI_G71, 3);
+        let mut drv = MaliDriver::probe(machine, None, true).unwrap();
+        drv.cache_flush().unwrap();
+        drv.recover().unwrap();
+        drv.teardown();
+    }
+
+    #[test]
+    fn free_region_returns_frames() {
+        let machine = Machine::new(&MALI_G71, 3);
+        let before = machine.frames().lock().used();
+        let mut drv = MaliDriver::probe(machine.clone(), None, true).unwrap();
+        let va = drv.alloc_region(4, RegionKind::Data).unwrap();
+        drv.free_region(va).unwrap();
+        assert!(drv.write_gpu(va, &[0]).is_err(), "stale VA rejected");
+        drv.teardown();
+        assert_eq!(machine.frames().lock().used(), before);
+    }
+}

@@ -1,0 +1,65 @@
+//! Kernel drivers for the two GPU families.
+//!
+//! Both expose the same Rust-level surface (probe / alloc / map / copy /
+//! submit / wait / flush / reset / teardown) but speak entirely different
+//! register protocols underneath, mirroring Mali kbase and drm/v3d.
+
+pub mod mali;
+pub mod v3d;
+pub mod vaspace;
+
+pub use mali::MaliDriver;
+pub use v3d::V3dDriver;
+pub use vaspace::{Region, VaSpace};
+
+/// Allocation kind, equivalent to the flags of the real drivers' memory
+/// ioctls. Decides PTE permissions on Mali and dump hints on v3d.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Job binaries (commands + shaders). Mapped executable on Mali.
+    JobBinary,
+    /// CPU-visible data (weights, inputs, outputs).
+    Data,
+    /// GPU-internal intermediate buffers (never CPU-mapped).
+    Internal,
+    /// Per-job scratch memory (excluded from dumps via alloc-flag hints).
+    Scratch,
+}
+
+/// Errors from driver operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// GPU did not come out of reset / power up.
+    PowerFailure,
+    /// Wrong or unknown GPU ID.
+    UnknownDevice(u32),
+    /// Physical memory exhausted.
+    OutOfMemory,
+    /// Bad VA handed to the driver.
+    BadAddress(u64),
+    /// Job failed (hardware fault status attached).
+    JobFault {
+        /// Family-specific fault code.
+        code: u32,
+    },
+    /// Timed out waiting for the GPU.
+    Timeout,
+    /// Driver used in a state it does not allow.
+    BadState(&'static str),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::PowerFailure => write!(f, "GPU power-up failed"),
+            DriverError::UnknownDevice(id) => write!(f, "unknown GPU id {id:#x}"),
+            DriverError::OutOfMemory => write!(f, "GPU memory exhausted"),
+            DriverError::BadAddress(va) => write!(f, "bad GPU address {va:#x}"),
+            DriverError::JobFault { code } => write!(f, "GPU job fault (code {code:#x})"),
+            DriverError::Timeout => write!(f, "timed out waiting for GPU"),
+            DriverError::BadState(s) => write!(f, "driver misuse: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}

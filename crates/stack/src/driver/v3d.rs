@@ -1,0 +1,462 @@
+//! The v3d-family kernel driver (drm/v3d-style).
+//!
+//! Differences from the Mali driver that matter to GPUReplay: power comes
+//! from the firmware *mailbox* (not direct register pokes), the page table
+//! is a flat array with no executable bit, submission is a control-list
+//! window kicked by the end-address write, the queue is depth-1, and cache
+//! cleaning is polled on a busy register rather than interrupt-driven.
+
+use std::sync::Arc;
+
+use gr_gpu::machine::{Machine, WaitOutcome};
+use gr_gpu::sku::GpuFamilyKind;
+use gr_gpu::v3d::pgtable::{self, V3dPteFlags};
+use gr_gpu::v3d::regs as r;
+use gr_sim::{MemAccount, SimDuration};
+use gr_soc::mailbox::{MboxRequest, MboxStatus};
+use gr_soc::pmc::PmcDomain;
+use gr_soc::PAGE_SIZE;
+
+use crate::costs;
+use crate::driver::vaspace::{Region, VaSpace};
+use crate::driver::{DriverError, RegionKind};
+use crate::hooks::{DumpCtx, JobRoot, RecorderSink, RegionSnapshot};
+
+const HEAP_BASE: u64 = 0x0040_0000;
+const POLL_INTERVAL: SimDuration = SimDuration::from_micros(2);
+const CTRL_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+/// Job-completion wait budget.
+pub const JOB_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// The v3d kernel driver instance.
+pub struct V3dDriver {
+    machine: Machine,
+    vaspace: VaSpace,
+    table_pa: u64,
+    hooks: Option<Arc<dyn RecorderSink>>,
+    mem_inited: bool,
+    rss: MemAccount,
+    jobs_submitted: u64,
+}
+
+impl std::fmt::Debug for V3dDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("V3dDriver")
+            .field("jobs_submitted", &self.jobs_submitted)
+            .finish()
+    }
+}
+
+impl V3dDriver {
+    /// Probes the device: mailbox power-up, reset, MMU setup.
+    ///
+    /// v3d submission is naturally synchronous (queue depth 1), so there
+    /// is no sync/async mode switch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on power/reset timeouts.
+    pub fn probe(machine: Machine, hooks: Option<Arc<dyn RecorderSink>>) -> Result<Self, DriverError> {
+        assert_eq!(
+            machine.sku().family,
+            GpuFamilyKind::V3d,
+            "V3dDriver requires a v3d-family machine"
+        );
+        machine.advance(costs::DRIVER_PROBE);
+        let rss = MemAccount::new();
+        rss.alloc(costs::STACK_BASE_RSS / 4); // v3d stack is leaner (Table 4)
+
+        // Firmware mailbox power-up (RaspberryPi property interface).
+        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+            let mut mbox = machine.mailbox().lock();
+            mbox.submit(MboxRequest::SetPower { domain, on: true })
+                .map_err(|_| DriverError::BadState("mailbox busy"))?;
+            loop {
+                match mbox.status() {
+                    MboxStatus::Done => {
+                        mbox.take_response();
+                        break;
+                    }
+                    MboxStatus::Busy => {
+                        let t = mbox.next_completion().expect("busy implies pending");
+                        machine.clock().advance_to(t);
+                    }
+                    MboxStatus::Idle => return Err(DriverError::PowerFailure),
+                }
+            }
+        }
+        // Wait for the domains to settle.
+        let deadline = machine.now() + SimDuration::from_millis(10);
+        while machine.now() < deadline && !machine.pmc().is_stable(PmcDomain::GpuMem) {
+            machine.advance(SimDuration::from_micros(20));
+        }
+        if !machine.pmc().is_stable(PmcDomain::GpuCore) {
+            return Err(DriverError::PowerFailure);
+        }
+
+        let mut drv = V3dDriver {
+            machine,
+            vaspace: VaSpace::new(HEAP_BASE, pgtable::VA_SPACE_SIZE),
+            table_pa: 0,
+            hooks,
+            mem_inited: false,
+            rss,
+            jobs_submitted: 0,
+        };
+        drv.reset_and_bring_up()?;
+        Ok(drv)
+    }
+
+    /// The machine this driver drives.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Modeled CPU memory footprint (§7.3).
+    pub fn rss(&self) -> &MemAccount {
+        &self.rss
+    }
+
+    /// Jobs submitted so far.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted
+    }
+
+    /// Peak GPU pages ever mapped.
+    pub fn peak_mapped_pages(&self) -> u64 {
+        self.vaspace.peak_pages()
+    }
+
+    fn rd(&self, reg: u32) -> u32 {
+        let val = self.machine.gpu_read32(reg);
+        if let Some(h) = &self.hooks {
+            h.reg_read(reg, val);
+        }
+        val
+    }
+
+    fn wr(&self, reg: u32, val: u32) {
+        if let Some(h) = &self.hooks {
+            h.reg_write(reg, val);
+        }
+        self.machine.gpu_write32(reg, val);
+    }
+
+    fn poll(&self, reg: u32, mask: u32, want: u32, timeout: SimDuration) -> Result<(), DriverError> {
+        let (val, polls) = self.machine.poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
+        if let Some(h) = &self.hooks {
+            h.poll(reg, mask, want, polls, timeout);
+        }
+        if val & mask == want {
+            Ok(())
+        } else {
+            Err(DriverError::Timeout)
+        }
+    }
+
+    fn reset_and_bring_up(&mut self) -> Result<(), DriverError> {
+        self.wr(r::CTL_RESET, 1);
+        self.poll(r::CT0CS, r::CS_RESETTING, 0, CTRL_TIMEOUT)?;
+        if self.table_pa == 0 {
+            let mut frames = self.machine.frames().lock();
+            self.table_pa = pgtable::alloc_table(self.machine.mem(), &mut frames)
+                .map_err(|_| DriverError::OutOfMemory)?;
+        }
+        if let Some(h) = &self.hooks {
+            h.pgtable_set();
+        }
+        self.machine.gpu_write32(r::MMU_PT_BASE_LO, self.table_pa as u32);
+        self.machine
+            .gpu_write32(r::MMU_PT_BASE_HI, (self.table_pa >> 32) as u32);
+        self.wr(r::MMU_CTRL, 1);
+        self.wr(r::INT_MSK, 0xFFFF_FFFF);
+        Ok(())
+    }
+
+    /// Allocates and maps `pages` of GPU memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when memory runs out.
+    pub fn alloc_region(&mut self, pages: usize, kind: RegionKind) -> Result<u64, DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY);
+        if !self.mem_inited {
+            self.machine.advance(costs::MEM_MGR_INIT / 2);
+            self.mem_inited = true;
+        }
+        self.machine
+            .advance((costs::ALLOC_PER_PAGE + costs::MAP_PER_PAGE) * pages as u64);
+        let va = self.vaspace.reserve(pages)?;
+        let flags = V3dPteFlags::rw();
+        let mut pas = Vec::with_capacity(pages);
+        {
+            let mut frames = self.machine.frames().lock();
+            for i in 0..pages {
+                let pa = frames
+                    .alloc_zeroed(self.machine.mem())
+                    .map_err(|_| DriverError::OutOfMemory)?
+                    .ok_or(DriverError::OutOfMemory)?;
+                pgtable::map_page(
+                    self.machine.mem(),
+                    self.table_pa,
+                    va + (i * PAGE_SIZE) as u64,
+                    pa,
+                    flags,
+                )
+                .map_err(|_| DriverError::OutOfMemory)?;
+                pas.push(pa);
+            }
+        }
+        let pte_bits = pgtable::encode_pte(0, flags) as u16 & 0xF;
+        let region = Region {
+            va,
+            pages,
+            kind,
+            pas,
+            pte_flags: vec![pte_bits; pages],
+        };
+        if let Some(h) = &self.hooks {
+            h.map(va, kind, &region.pte_flags);
+        }
+        self.vaspace.insert(region);
+        Ok(va)
+    }
+
+    /// Unmaps and frees the region at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `va` is not a region base.
+    pub fn free_region(&mut self, va: u64) -> Result<(), DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY);
+        let region = self.vaspace.remove(va)?;
+        {
+            let mut frames = self.machine.frames().lock();
+            for i in 0..region.pages {
+                if let Ok(Some(pa)) =
+                    pgtable::unmap_page(self.machine.mem(), self.table_pa, va + (i * PAGE_SIZE) as u64)
+                {
+                    let _ = frames.free(pa);
+                }
+            }
+        }
+        if let Some(h) = &self.hooks {
+            h.unmap(va);
+        }
+        Ok(())
+    }
+
+    /// CPU→GPU copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn write_gpu(&self, va: u64, data: &[u8]) -> Result<(), DriverError> {
+        self.machine
+            .advance(costs::COPY_PER_PAGE * (data.len() / PAGE_SIZE + 1) as u64);
+        self.vaspace.cpu_write(self.machine.mem(), va, data)?;
+        if let Some(h) = &self.hooks {
+            h.copy_to_gpu(va, data.len());
+        }
+        Ok(())
+    }
+
+    /// GPU→CPU copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn read_gpu(&self, va: u64, out: &mut [u8]) -> Result<(), DriverError> {
+        self.machine
+            .advance(costs::COPY_PER_PAGE * (out.len() / PAGE_SIZE + 1) as u64);
+        self.vaspace.cpu_read(self.machine.mem(), va, out)?;
+        if let Some(h) = &self.hooks {
+            h.copy_from_gpu(va, out.len());
+        }
+        Ok(())
+    }
+
+    /// Kernel-bypassing mmap write used by the runtime for binaries.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range is unmapped.
+    pub fn mmap_write(&self, va: u64, data: &[u8]) -> Result<(), DriverError> {
+        self.vaspace.cpu_write(self.machine.mem(), va, data)
+    }
+
+    /// Submits the control list `[cl_va, cl_va+cl_len)` and waits for it
+    /// (v3d has no async mode — queue depth 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns job faults/timeouts.
+    pub fn submit(&mut self, cl_va: u64, cl_len: u32) -> Result<(), DriverError> {
+        self.machine.advance(costs::IOCTL_ENTRY + costs::JOB_SUBMIT_CPU);
+        if let Some(h) = &self.hooks {
+            let regions: Vec<RegionSnapshot> = self
+                .vaspace
+                .iter()
+                .map(|r| RegionSnapshot {
+                    va: r.va,
+                    pages: r.pages,
+                    kind: r.kind,
+                    pte_flags: r.pte_flags.clone(),
+                    pas: r.pas.clone(),
+                })
+                .collect();
+            let ctx = DumpCtx {
+                mem: self.machine.mem(),
+                regions: &regions,
+                root: JobRoot::V3dList { cl_va, cl_len },
+            };
+            h.pre_job_submit(&ctx);
+        }
+        self.wr(r::CT0CA_LO, cl_va as u32);
+        self.wr(r::CT0CA_HI, (cl_va >> 32) as u32);
+        self.wr(r::CT0EA_HI, ((cl_va + u64::from(cl_len)) >> 32) as u32);
+        self.wr(r::CT0EA_LO, (cl_va + u64::from(cl_len)) as u32);
+        if let Some(h) = &self.hooks {
+            h.gpu_phase(true);
+        }
+        self.jobs_submitted += 1;
+
+        if let Some(h) = &self.hooks {
+            h.wait_irq(r::irq_lines::V3D.0, JOB_TIMEOUT);
+        }
+        match self.machine.wait_irq(r::irq_lines::V3D, JOB_TIMEOUT) {
+            WaitOutcome::Irq => {}
+            WaitOutcome::Timeout => return Err(DriverError::Timeout),
+        }
+        if let Some(h) = &self.hooks {
+            h.irq_context(true);
+        }
+        self.machine.advance(costs::IRQ_HANDLER);
+        let sts = self.rd(r::INT_STS);
+        self.wr(r::INT_CLR, sts);
+        let cs = self.rd(r::CT0CS);
+        if let Some(h) = &self.hooks {
+            h.irq_context(false);
+            h.gpu_phase(false);
+            let regions: Vec<RegionSnapshot> = self
+                .vaspace
+                .iter()
+                .map(|rg| RegionSnapshot {
+                    va: rg.va,
+                    pages: rg.pages,
+                    kind: rg.kind,
+                    pte_flags: rg.pte_flags.clone(),
+                    pas: rg.pas.clone(),
+                })
+                .collect();
+            let ctx = DumpCtx {
+                mem: self.machine.mem(),
+                regions: &regions,
+                root: JobRoot::V3dList { cl_va, cl_len },
+            };
+            h.post_job_complete(&ctx);
+        }
+        if sts & r::INT_MMU_FAULT != 0 || cs & r::CS_ERROR != 0 {
+            let err = self.rd(r::ERR_STAT);
+            return Err(DriverError::JobFault { code: err });
+        }
+        Ok(())
+    }
+
+    /// Cleans GPU caches by polling the busy bit (`v3d_clean_caches`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Timeout`] if cleaning never finishes.
+    pub fn cache_clean(&mut self) -> Result<(), DriverError> {
+        self.wr(r::CACHE_CLEAN, 1);
+        self.poll(r::CACHE_CLEAN, 1, 0, CTRL_TIMEOUT)
+    }
+
+    /// Resets and re-initializes the device (recovery path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bring-up failures.
+    pub fn recover(&mut self) -> Result<(), DriverError> {
+        self.reset_and_bring_up()
+    }
+
+    /// Tears down: frees GPU memory and powers off via the mailbox.
+    pub fn teardown(mut self) {
+        let vas: Vec<u64> = self.vaspace.iter().map(|r| r.va).collect();
+        for va in vas {
+            let _ = self.free_region(va);
+        }
+        if self.table_pa != 0 {
+            let mut frames = self.machine.frames().lock();
+            for i in 0..pgtable::PT_PAGES {
+                let _ = frames.free(self.table_pa + (i * PAGE_SIZE) as u64);
+            }
+        }
+        for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
+            let mut mbox = self.machine.mailbox().lock();
+            if mbox.submit(MboxRequest::SetPower { domain, on: false }).is_ok() {
+                loop {
+                    match mbox.status() {
+                        MboxStatus::Done => {
+                            mbox.take_response();
+                            break;
+                        }
+                        MboxStatus::Busy => {
+                            let t = mbox.next_completion().expect("pending");
+                            self.machine.clock().advance_to(t);
+                        }
+                        MboxStatus::Idle => break,
+                    }
+                }
+            }
+        }
+        self.rss.free(costs::STACK_BASE_RSS / 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::V3D_RPI4;
+    use gr_gpu::timing::JobCost;
+    use gr_gpu::v3d::cl::ClWriter;
+    use gr_gpu::vm::bytecode::KernelOp;
+    use gr_gpu::Machine;
+
+    #[test]
+    fn probe_powers_via_mailbox_and_runs_a_list() {
+        let machine = Machine::new(&V3D_RPI4, 21);
+        let mut drv = V3dDriver::probe(machine.clone(), None).unwrap();
+        assert!(machine.pmc().is_stable(PmcDomain::GpuCore));
+
+        let binv = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
+        let data = drv.alloc_region(1, RegionKind::Data).unwrap();
+        let blob = KernelOp::Fill { out: data, n: 8, value: 2.5 }.encode();
+        drv.mmap_write(binv + 0x200, &blob).unwrap();
+        let mut w = ClWriter::new();
+        w.run_shader(binv + 0x200, blob.len() as u32, JobCost { flops: 8, bytes: 32 });
+        let cl = w.finish();
+        drv.mmap_write(binv, &cl).unwrap();
+        drv.submit(binv, cl.len() as u32).unwrap();
+        let mut out = vec![0u8; 8 * 4];
+        drv.read_gpu(data, &mut out).unwrap();
+        for ch in out.chunks_exact(4) {
+            assert_eq!(f32::from_le_bytes(ch.try_into().unwrap()), 2.5);
+        }
+        drv.cache_clean().unwrap();
+        drv.teardown();
+        assert!(!machine.pmc().is_stable(PmcDomain::GpuCore), "powered off");
+    }
+
+    #[test]
+    fn submit_unmapped_list_reports_fault() {
+        let machine = Machine::new(&V3D_RPI4, 21);
+        let mut drv = V3dDriver::probe(machine, None).unwrap();
+        let err = drv.submit(0x0100_0000, 16).unwrap_err();
+        assert!(matches!(err, DriverError::JobFault { .. }), "{err:?}");
+        drv.recover().unwrap();
+        drv.teardown();
+    }
+}

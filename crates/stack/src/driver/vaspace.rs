@@ -1,0 +1,237 @@
+//! GPU virtual-address-space bookkeeping shared by both drivers.
+//!
+//! The driver owns the authoritative map of VA regions → physical frames +
+//! permissions; the recorder snapshots it at dump points and CPU-side
+//! accesses (the runtime's "mmap'd GPU memory") resolve through it.
+
+use std::collections::BTreeMap;
+
+use gr_soc::{SharedMem, PAGE_SIZE};
+
+use crate::driver::{DriverError, RegionKind};
+
+/// One mapped region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// First VA.
+    pub va: u64,
+    /// Length in pages.
+    pub pages: usize,
+    /// Allocation kind.
+    pub kind: RegionKind,
+    /// Backing frames, one per page.
+    pub pas: Vec<u64>,
+    /// Low PTE bits per page (family encoding), kept for snapshots.
+    pub pte_flags: Vec<u16>,
+}
+
+impl Region {
+    /// Region byte length.
+    pub fn len_bytes(&self) -> usize {
+        self.pages * PAGE_SIZE
+    }
+
+    /// `true` when `[va, va+len)` lies inside the region.
+    pub fn contains(&self, va: u64, len: usize) -> bool {
+        va >= self.va && va + len as u64 <= self.va + self.len_bytes() as u64
+    }
+}
+
+/// Bump-allocated GPU VA space with a region table.
+#[derive(Debug)]
+pub struct VaSpace {
+    next_va: u64,
+    limit: u64,
+    regions: BTreeMap<u64, Region>,
+    peak_pages: u64,
+    mapped_pages: u64,
+}
+
+impl VaSpace {
+    /// Creates a VA space spanning `[base, limit)`.
+    pub fn new(base: u64, limit: u64) -> Self {
+        VaSpace {
+            next_va: base,
+            limit,
+            regions: BTreeMap::new(),
+            peak_pages: 0,
+            mapped_pages: 0,
+        }
+    }
+
+    /// Reserves `pages` of VA (no mapping yet), returning the base VA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::OutOfMemory`] when VA space is exhausted.
+    pub fn reserve(&mut self, pages: usize) -> Result<u64, DriverError> {
+        let bytes = (pages * PAGE_SIZE) as u64;
+        if self.next_va + bytes > self.limit {
+            return Err(DriverError::OutOfMemory);
+        }
+        let va = self.next_va;
+        self.next_va += bytes;
+        Ok(va)
+    }
+
+    /// Records a region as mapped.
+    pub fn insert(&mut self, region: Region) {
+        self.mapped_pages += region.pages as u64;
+        self.peak_pages = self.peak_pages.max(self.mapped_pages);
+        self.regions.insert(region.va, region);
+    }
+
+    /// Removes a region, returning it for unmapping/freeing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::BadAddress`] when `va` is not a region base.
+    pub fn remove(&mut self, va: u64) -> Result<Region, DriverError> {
+        let r = self.regions.remove(&va).ok_or(DriverError::BadAddress(va))?;
+        self.mapped_pages -= r.pages as u64;
+        Ok(r)
+    }
+
+    /// The region whose range contains `va`, if any.
+    pub fn find(&self, va: u64) -> Option<&Region> {
+        self.regions
+            .range(..=va)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(va, 1))
+    }
+
+    /// Iterates over all regions in VA order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Currently mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// High-water mark of mapped pages.
+    pub fn peak_pages(&self) -> u64 {
+        self.peak_pages
+    }
+
+    /// CPU-side write into a mapped region (the runtime's mmap view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::BadAddress`] when the range is unmapped.
+    pub fn cpu_write(&self, mem: &SharedMem, va: u64, data: &[u8]) -> Result<(), DriverError> {
+        self.cpu_access(va, data.len(), |pa, off, chunk| {
+            mem.write(pa, &data[off..off + chunk])
+                .map_err(|_| DriverError::BadAddress(va))
+        })
+    }
+
+    /// CPU-side read from a mapped region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::BadAddress`] when the range is unmapped.
+    pub fn cpu_read(&self, mem: &SharedMem, va: u64, out: &mut [u8]) -> Result<(), DriverError> {
+        let len = out.len();
+        let mut buf = vec![0u8; len];
+        self.cpu_access(va, len, |pa, off, chunk| {
+            mem.read(pa, &mut buf[off..off + chunk])
+                .map_err(|_| DriverError::BadAddress(va))
+        })?;
+        out.copy_from_slice(&buf);
+        Ok(())
+    }
+
+    fn cpu_access(
+        &self,
+        va: u64,
+        len: usize,
+        mut f: impl FnMut(u64, usize, usize) -> Result<(), DriverError>,
+    ) -> Result<(), DriverError> {
+        let mut done = 0usize;
+        while done < len {
+            let cur = va + done as u64;
+            let region = self.find(cur).ok_or(DriverError::BadAddress(cur))?;
+            let off = (cur - region.va) as usize;
+            let page = off / PAGE_SIZE;
+            let chunk = (PAGE_SIZE - off % PAGE_SIZE).min(len - done);
+            let pa = region.pas[page] + (off % PAGE_SIZE) as u64;
+            f(pa, done, chunk)?;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_soc::PhysMem;
+
+    fn region(va: u64, pages: usize, first_pa: u64) -> Region {
+        Region {
+            va,
+            pages,
+            kind: RegionKind::Data,
+            pas: (0..pages).map(|i| first_pa + (i * PAGE_SIZE) as u64).collect(),
+            pte_flags: vec![0xB; pages],
+        }
+    }
+
+    #[test]
+    fn reserve_bumps_and_limits() {
+        let mut vs = VaSpace::new(0x10_0000, 0x10_0000 + 3 * PAGE_SIZE as u64);
+        assert_eq!(vs.reserve(1).unwrap(), 0x10_0000);
+        assert_eq!(vs.reserve(2).unwrap(), 0x10_0000 + PAGE_SIZE as u64);
+        assert_eq!(vs.reserve(1), Err(DriverError::OutOfMemory));
+    }
+
+    #[test]
+    fn find_resolves_interior_addresses() {
+        let mut vs = VaSpace::new(0, 1 << 30);
+        vs.insert(region(0x4000, 2, 0x10_0000));
+        vs.insert(region(0xA000, 1, 0x20_0000));
+        assert_eq!(vs.find(0x4000).unwrap().va, 0x4000);
+        assert_eq!(vs.find(0x5FFF).unwrap().va, 0x4000);
+        assert!(vs.find(0x6000).is_none());
+        assert_eq!(vs.find(0xA123).unwrap().va, 0xA000);
+        assert_eq!(vs.iter().count(), 2);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut vs = VaSpace::new(0, 1 << 30);
+        vs.insert(region(0x1000, 3, 0x10_0000));
+        vs.insert(region(0x8000, 2, 0x20_0000));
+        assert_eq!(vs.peak_pages(), 5);
+        vs.remove(0x1000).unwrap();
+        assert_eq!(vs.mapped_pages(), 2);
+        assert_eq!(vs.peak_pages(), 5);
+        assert!(matches!(
+            vs.remove(0x1000),
+            Err(DriverError::BadAddress(0x1000))
+        ));
+    }
+
+    #[test]
+    fn cpu_rw_through_discontiguous_frames() {
+        let mem = SharedMem::new(PhysMem::new(0, 16 * PAGE_SIZE));
+        let mut vs = VaSpace::new(0, 1 << 30);
+        let mut r = region(0x4000, 2, 0);
+        r.pas = vec![2 * PAGE_SIZE as u64, 7 * PAGE_SIZE as u64];
+        vs.insert(r);
+        let data: Vec<u8> = (0..200).collect();
+        let va = 0x4000 + PAGE_SIZE as u64 - 100;
+        vs.cpu_write(&mem, va, &data).unwrap();
+        let mut back = vec![0u8; 200];
+        vs.cpu_read(&mem, va, &mut back).unwrap();
+        assert_eq!(back, data);
+        // The second half physically landed in frame 7.
+        let mut direct = vec![0u8; 100];
+        mem.read(7 * PAGE_SIZE as u64, &mut direct).unwrap();
+        assert_eq!(direct, data[100..]);
+        assert!(vs.cpu_write(&mem, 0x9000, &[1]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! The full GPU software stack — the thing GPUReplay replaces at run time.
+//!
+//! Mirrors the paper's Figure 2: a *kernel driver* per GPU family
+//! (ioctl-style interface, GPU VA-space management, job queues, IRQ
+//! handling, power bring-up) and a *blackbox runtime* on top (JIT
+//! compilation of kernels into opaque job binaries emitted straight into
+//! mmap'd GPU memory, buffer management, queue API).
+//!
+//! Every layer charges modeled costs to the machine's virtual clock, so
+//! end-to-end delays (startup, per-job overhead, ioctl crossings, JIT)
+//! have the shapes the paper measures. The driver exposes the
+//! instrumentation seams ([`RecorderSink`]) the paper adds to Mali/v3d
+//! drivers — register accessors, poll loops, page-table updates, job
+//! submission, IRQ entry/exit.
+//!
+//! # Example
+//!
+//! ```
+//! use gr_gpu::{Machine, sku};
+//! use gr_stack::runtime::{BufferKind, GpuRuntime};
+//!
+//! let machine = Machine::new(&sku::MALI_G71, 7);
+//! let mut rt = GpuRuntime::create(machine, true, None)?;
+//! let buf = rt.alloc_buffer(1024, BufferKind::Data)?;
+//! rt.write_buffer(&buf, 0, &[1, 2, 3, 4])?;
+//! # Ok::<(), gr_stack::driver::DriverError>(())
+//! ```
+
+pub mod costs;
+pub mod driver;
+pub mod hooks;
+pub mod runtime;
+
+pub use driver::{DriverError, RegionKind};
+pub use hooks::{DumpCtx, JobRoot, RecorderSink, RegionSnapshot};
+pub use runtime::{Buffer, BufferKind, GpuRuntime, KernelLaunch};

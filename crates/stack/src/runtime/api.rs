@@ -1,0 +1,420 @@
+//! The runtime API surface (OpenCL/Vulkan-queue flavoured).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gr_gpu::machine::Machine;
+use gr_gpu::mali::jobs::JobHeader;
+use gr_gpu::sku::GpuFamilyKind;
+use gr_gpu::timing::JobCost;
+use gr_gpu::v3d::cl::ClWriter;
+use gr_gpu::vm::bytecode::KernelOp;
+use gr_sim::MemAccount;
+use gr_soc::PAGE_SIZE;
+
+use crate::costs;
+use crate::driver::{DriverError, MaliDriver, RegionKind, V3dDriver};
+use crate::hooks::RecorderSink;
+
+/// How a buffer will be used — decides mapping kind and, downstream, the
+/// recorder's dump policy for the pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferKind {
+    /// CPU-visible data: network inputs/outputs (record by address).
+    Data,
+    /// CPU-visible constants: weights/parameters (record by value).
+    Weights,
+    /// GPU-internal intermediate passed between jobs (never dumped).
+    Internal,
+    /// Per-job scratch (excluded from dumps via alloc hints).
+    Scratch,
+}
+
+impl BufferKind {
+    fn region_kind(self) -> RegionKind {
+        match self {
+            BufferKind::Data | BufferKind::Weights => RegionKind::Data,
+            BufferKind::Internal => RegionKind::Internal,
+            BufferKind::Scratch => RegionKind::Scratch,
+        }
+    }
+}
+
+/// A GPU buffer handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    /// GPU virtual address.
+    pub va: u64,
+    /// Byte length (page-rounded underneath).
+    pub len: usize,
+}
+
+/// One kernel launch request from the framework layer.
+#[derive(Debug, Clone)]
+pub struct KernelLaunch {
+    /// The compute to run (buffer VAs already resolved).
+    pub op: KernelOp,
+    /// Modeled full-size work, drives GPU busy time.
+    pub cost: JobCost,
+    /// JIT-cache key; first use of a key pays the compile cost.
+    pub kind_key: String,
+    /// Human label for logs.
+    pub label: String,
+}
+
+enum DriverHandle {
+    Mali(MaliDriver),
+    V3d(V3dDriver),
+}
+
+/// Job-binary arena size in pages (runtimes ring-buffer their command
+/// memory; sync submission makes wrap-around safe).
+const ARENA_PAGES: usize = 64;
+
+/// The runtime context — create one per app.
+pub struct GpuRuntime {
+    driver: DriverHandle,
+    machine: Machine,
+    jit_cache: HashSet<String>,
+    arena_va: u64,
+    arena_off: usize,
+    rss: MemAccount,
+    jobs: u64,
+}
+
+impl std::fmt::Debug for GpuRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuRuntime")
+            .field("sku", &self.machine.sku().name)
+            .field("jobs", &self.jobs)
+            .finish()
+    }
+}
+
+impl GpuRuntime {
+    /// Loads the runtime and probes the driver. `sync` forces synchronous
+    /// job submission (the GPUReplay record-time requirement); the async
+    /// depth-2 path is the Fig. 3 baseline (Mali only — v3d is always
+    /// depth 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver probe failures.
+    pub fn create(
+        machine: Machine,
+        sync: bool,
+        hooks: Option<Arc<dyn RecorderSink>>,
+    ) -> Result<Self, DriverError> {
+        machine.advance(costs::RUNTIME_INIT);
+        let rss = MemAccount::new();
+        rss.alloc(48 * 1024 * 1024); // the runtime .so itself
+        let mut driver = match machine.sku().family {
+            GpuFamilyKind::Mali => DriverHandle::Mali(MaliDriver::probe(machine.clone(), hooks, sync)?),
+            GpuFamilyKind::V3d => DriverHandle::V3d(V3dDriver::probe(machine.clone(), hooks)?),
+        };
+        let arena_va = match &mut driver {
+            DriverHandle::Mali(d) => d.alloc_region(ARENA_PAGES, RegionKind::JobBinary)?,
+            DriverHandle::V3d(d) => d.alloc_region(ARENA_PAGES, RegionKind::JobBinary)?,
+        };
+        Ok(GpuRuntime {
+            driver,
+            machine,
+            jit_cache: HashSet::new(),
+            arena_va,
+            arena_off: 0,
+            rss,
+            jobs: 0,
+        })
+    }
+
+    /// The machine underneath.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Jobs launched so far.
+    pub fn job_count(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Modeled CPU footprint of runtime + driver (§7.3).
+    pub fn total_rss(&self) -> u64 {
+        let drv = match &self.driver {
+            DriverHandle::Mali(d) => d.rss().current(),
+            DriverHandle::V3d(d) => d.rss().current(),
+        };
+        drv + self.rss.current()
+    }
+
+    /// Peak GPU pages mapped (Table 6 accounting).
+    pub fn peak_mapped_pages(&self) -> u64 {
+        match &self.driver {
+            DriverHandle::Mali(d) => d.peak_mapped_pages(),
+            DriverHandle::V3d(d) => d.peak_mapped_pages(),
+        }
+    }
+
+    /// Allocates a buffer of at least `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when GPU memory runs out.
+    pub fn alloc_buffer(&mut self, len: usize, kind: BufferKind) -> Result<Buffer, DriverError> {
+        self.machine.advance(costs::BUFFER_CREATE);
+        let pages = len.div_ceil(PAGE_SIZE).max(1);
+        let va = match &mut self.driver {
+            DriverHandle::Mali(d) => d.alloc_region(pages, kind.region_kind())?,
+            DriverHandle::V3d(d) => d.alloc_region(pages, kind.region_kind())?,
+        };
+        self.rss.alloc(1024); // runtime-side buffer object
+        Ok(Buffer { va, len })
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `buf` is not a live allocation.
+    pub fn free_buffer(&mut self, buf: Buffer) -> Result<(), DriverError> {
+        match &mut self.driver {
+            DriverHandle::Mali(d) => d.free_region(buf.va)?,
+            DriverHandle::V3d(d) => d.free_region(buf.va)?,
+        }
+        self.rss.free(1024);
+        Ok(())
+    }
+
+    /// Writes app data into a buffer (the recorded input-injection path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad offsets.
+    pub fn write_buffer(&self, buf: &Buffer, offset: usize, data: &[u8]) -> Result<(), DriverError> {
+        if offset + data.len() > buf.len.div_ceil(PAGE_SIZE) * PAGE_SIZE {
+            return Err(DriverError::BadAddress(buf.va + offset as u64));
+        }
+        match &self.driver {
+            DriverHandle::Mali(d) => d.write_gpu(buf.va + offset as u64, data),
+            DriverHandle::V3d(d) => d.write_gpu(buf.va + offset as u64, data),
+        }
+    }
+
+    /// Reads data out of a buffer (output extraction).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad offsets.
+    pub fn read_buffer(&self, buf: &Buffer, offset: usize, out: &mut [u8]) -> Result<(), DriverError> {
+        match &self.driver {
+            DriverHandle::Mali(d) => d.read_gpu(buf.va + offset as u64, out),
+            DriverHandle::V3d(d) => d.read_gpu(buf.va + offset as u64, out),
+        }
+    }
+
+    fn arena_take(&mut self, bytes: usize) -> Result<u64, DriverError> {
+        let aligned = bytes.div_ceil(64) * 64;
+        if self.arena_off + aligned > ARENA_PAGES * PAGE_SIZE {
+            // Ring wrap: drain outstanding work first so the GPU is not
+            // reading the bytes we are about to overwrite.
+            if let DriverHandle::Mali(d) = &mut self.driver {
+                d.wait_all()?;
+            }
+            self.arena_off = 0;
+        }
+        let va = self.arena_va + self.arena_off as u64;
+        self.arena_off += aligned;
+        Ok(va)
+    }
+
+    /// JIT-compiles a kernel variant ahead of time (ACL configures —
+    /// i.e. compiles — kernels while building the network, which is what
+    /// the Fig. 6 startup window contains).
+    pub fn prejit(&mut self, kind_key: &str) {
+        if !self.jit_cache.contains(kind_key) {
+            self.machine.advance(costs::jit_cost(kind_key));
+            self.jit_cache.insert(kind_key.to_string());
+            self.rss.alloc(256 * 1024);
+        }
+    }
+
+    /// JIT-compiles (first use per `kind_key`), emits the job binary into
+    /// mmap'd GPU memory, and submits it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver submission failures.
+    pub fn launch(&mut self, k: &KernelLaunch) -> Result<(), DriverError> {
+        if !self.jit_cache.contains(&k.kind_key) {
+            self.machine.advance(costs::jit_cost(&k.kind_key));
+            self.jit_cache.insert(k.kind_key.clone());
+            self.rss.alloc(256 * 1024); // compiled program + metadata
+        }
+        self.machine.advance(costs::JOB_EMIT);
+        let blob = k.op.encode();
+        match &mut self.driver {
+            DriverHandle::Mali(_) => {
+                let hdr_va = self.arena_take(gr_gpu::mali::jobs::JOB_HEADER_SIZE + blob.len() + 64)?;
+                let shader_va = hdr_va + gr_gpu::mali::jobs::JOB_HEADER_SIZE as u64;
+                let header = JobHeader {
+                    next_va: 0,
+                    shader_va,
+                    shader_len: blob.len() as u32,
+                    cost: k.cost,
+                };
+                let DriverHandle::Mali(d) = &mut self.driver else {
+                    unreachable!()
+                };
+                d.mmap_write(hdr_va, &header.encode())?;
+                d.mmap_write(shader_va, &blob)?;
+                d.submit(hdr_va)?;
+            }
+            DriverHandle::V3d(_) => {
+                let blob_va = self.arena_take(blob.len() + 64)?;
+                let mut w = ClWriter::new();
+                w.run_shader(blob_va, blob.len() as u32, k.cost);
+                let cl = w.finish();
+                let cl_va = self.arena_take(cl.len() + 16)?;
+                let DriverHandle::V3d(d) = &mut self.driver else {
+                    unreachable!()
+                };
+                d.mmap_write(blob_va, &blob)?;
+                d.mmap_write(cl_va, &cl)?;
+                d.submit(cl_va, cl.len() as u32)?;
+            }
+        }
+        self.jobs += 1;
+        Ok(())
+    }
+
+    /// Drains outstanding async jobs (no-op in sync mode / on v3d).
+    ///
+    /// # Errors
+    ///
+    /// Propagates job faults.
+    pub fn finish(&mut self) -> Result<(), DriverError> {
+        if let DriverHandle::Mali(d) = &mut self.driver {
+            d.wait_all()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes GPU caches (the `CLFlush` the paper's DeepCL workload uses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timeouts.
+    pub fn cache_flush(&mut self) -> Result<(), DriverError> {
+        match &mut self.driver {
+            DriverHandle::Mali(d) => d.cache_flush(),
+            DriverHandle::V3d(d) => d.cache_clean(),
+        }
+    }
+
+    /// Releases the context: drains, frees, powers the GPU down.
+    pub fn release(mut self) {
+        let _ = self.finish();
+        match self.driver {
+            DriverHandle::Mali(d) => d.teardown(),
+            DriverHandle::V3d(d) => d.teardown(),
+        }
+        self.rss.free(self.rss.current());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_gpu::sku::{MALI_G71, V3D_RPI4};
+    use gr_gpu::vm::bytecode::ActKind;
+
+    fn f32s(vals: &[f32]) -> Vec<u8> {
+        let mut b = Vec::new();
+        for v in vals {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    fn vecadd_on(sku: &'static gr_gpu::GpuSku) {
+        let machine = Machine::new(sku, 33);
+        let mut rt = GpuRuntime::create(machine, true, None).unwrap();
+        let a = rt.alloc_buffer(12, BufferKind::Data).unwrap();
+        let b = rt.alloc_buffer(12, BufferKind::Data).unwrap();
+        let out = rt.alloc_buffer(12, BufferKind::Data).unwrap();
+        rt.write_buffer(&a, 0, &f32s(&[1., 2., 3.])).unwrap();
+        rt.write_buffer(&b, 0, &f32s(&[4., 5., 6.])).unwrap();
+        rt.launch(&KernelLaunch {
+            op: KernelOp::EltwiseAdd { a: a.va, b: b.va, out: out.va, n: 3, act: ActKind::None },
+            cost: JobCost { flops: 3, bytes: 36 },
+            kind_key: "eltadd/3".into(),
+            label: "vecadd".into(),
+        })
+        .unwrap();
+        rt.finish().unwrap();
+        let mut got = vec![0u8; 12];
+        rt.read_buffer(&out, 0, &mut got).unwrap();
+        assert_eq!(got, f32s(&[5., 7., 9.]));
+        assert_eq!(rt.job_count(), 1);
+        rt.release();
+    }
+
+    #[test]
+    fn vecadd_works_on_both_families() {
+        vecadd_on(&MALI_G71);
+        vecadd_on(&V3D_RPI4);
+    }
+
+    #[test]
+    fn jit_cost_is_paid_once_per_variant() {
+        let machine = Machine::new(&MALI_G71, 1);
+        let mut rt = GpuRuntime::create(machine.clone(), true, None).unwrap();
+        let buf = rt.alloc_buffer(16, BufferKind::Data).unwrap();
+        let launch = KernelLaunch {
+            op: KernelOp::Fill { out: buf.va, n: 4, value: 0.0 },
+            cost: JobCost { flops: 4, bytes: 16 },
+            kind_key: "fill/4".into(),
+            label: "fill".into(),
+        };
+        let t0 = machine.now();
+        rt.launch(&launch).unwrap();
+        let first = machine.now() - t0;
+        let t1 = machine.now();
+        rt.launch(&launch).unwrap();
+        let second = machine.now() - t1;
+        assert!(
+            first.as_nanos() > second.as_nanos() + costs::JIT_SIMPLE.as_nanos() / 2,
+            "first {first} should include JIT, second {second} should not"
+        );
+        rt.release();
+    }
+
+    #[test]
+    fn arena_wraps_without_corruption() {
+        let machine = Machine::new(&MALI_G71, 1);
+        let mut rt = GpuRuntime::create(machine, true, None).unwrap();
+        let buf = rt.alloc_buffer(16, BufferKind::Data).unwrap();
+        // Enough launches to wrap the 256 KiB arena several times.
+        for i in 0..3000 {
+            rt.launch(&KernelLaunch {
+                op: KernelOp::Fill { out: buf.va, n: 4, value: i as f32 },
+                cost: JobCost { flops: 4, bytes: 16 },
+                kind_key: "fill/4".into(),
+                label: format!("fill{i}"),
+            })
+            .unwrap();
+        }
+        let mut got = vec![0u8; 4];
+        rt.read_buffer(&buf, 0, &mut got).unwrap();
+        assert_eq!(f32::from_le_bytes(got.try_into().unwrap()), 2999.0);
+        rt.release();
+    }
+
+    #[test]
+    fn rss_accounts_the_stack_footprint() {
+        let machine = Machine::new(&MALI_G71, 1);
+        let rt = GpuRuntime::create(machine, true, None).unwrap();
+        // §7.3 regime: the full stack occupies hundreds of MB.
+        assert!(rt.total_rss() > 200 * 1024 * 1024, "rss = {}", rt.total_rss());
+        rt.release();
+    }
+}

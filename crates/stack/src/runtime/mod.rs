@@ -1,0 +1,13 @@
+//! The "proprietary" GPU runtime (libmali.so / libvulkan_broadcom.so
+//! stand-in).
+//!
+//! Sits on top of a kernel driver and does what the paper's Figure 2
+//! shows: JIT-compiles kernels (charging realistic compile costs, cached
+//! per kernel variant), emits opaque job binaries **directly into mmap'd
+//! GPU memory, bypassing the driver** — the kernel-bypass blackbox
+//! behaviour that forces GPUReplay's recorder to dump memory instead of
+//! parsing anything — and submits jobs through the driver's ioctl surface.
+
+mod api;
+
+pub use api::{Buffer, BufferKind, GpuRuntime, KernelLaunch};

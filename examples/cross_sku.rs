@@ -1,0 +1,51 @@
+//! §6.4: record on a low-end Mali G31, patch the recording, replay on a
+//! high-end G71 — first correct-but-slow, then at full 8-core speed.
+//!
+//! Run with: `cargo run --example cross_sku --release`
+
+use gpureplay::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record a 16M-element vecadd on the G31 (1 shader core).
+    let dev = Machine::new(&sku::MALI_G31, 31);
+    let mut harness = RecordHarness::new(dev)?;
+    let rec = harness.record_vecadd(1024, 16_000_000, 5)?;
+    harness.finish();
+    println!("recorded on {} (1 core)", rec.meta.sku_name);
+
+    let a = vec![1.5f32; 1024];
+    let b = vec![2.25f32; 1024];
+
+    let mut run = |rec: &Recording, label: &str| {
+        let target = Machine::new(&sku::MALI_G71, 32);
+        let env = Environment::new(EnvKind::UserLevel, target).expect("env");
+        let mut replayer = Replayer::new(env);
+        match replayer.load(rec.clone()) {
+            Err(e) => println!("{label}: rejected at load ({e})"),
+            Ok(id) => {
+                let mut io = ReplayIo::for_recording(replayer.recording(id));
+                io.set_input_f32(0, &a);
+                io.set_input_f32(1, &b);
+                match replayer.replay(id, &mut io) {
+                    Err(e) => println!("{label}: replay failed ({e})"),
+                    Ok(report) => {
+                        let out = io.output_f32(0);
+                        assert!(out.iter().all(|&v| (v - 3.75).abs() < 1e-6));
+                        println!(
+                            "{label}: correct result, exec {}",
+                            report.wall - report.startup
+                        );
+                    }
+                }
+            }
+        }
+        replayer.cleanup();
+    };
+
+    run(&rec, "unpatched G31 recording on G71");
+    let partial = patch_recording(&rec, &sku::MALI_G31, &sku::MALI_G71, PatchOptions::without_affinity())?;
+    run(&partial, "patched (pgtable + MMU cfg)   ");
+    let full = patch_recording(&rec, &sku::MALI_G31, &sku::MALI_G71, PatchOptions::full())?;
+    run(&full, "patched (+ core affinity)     ");
+    Ok(())
+}

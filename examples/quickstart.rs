@@ -1,0 +1,51 @@
+//! Quickstart: record MNIST inference once on the full GPU stack, then
+//! replay it on new input with the 50-KB-class replayer.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use gpureplay::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Development machine: full stack + recorder (Figure 1, left) ----
+    let dev = Machine::new(&sku::MALI_G71, 42);
+    let mut harness = RecordHarness::new(dev)?;
+    let recs = harness.record_inference(&models::mnist(), Granularity::WholeNn, 7)?;
+    let rec = &recs.recordings[0];
+    println!(
+        "recorded '{}': {} GPU jobs, {} register interactions, {} actions, {:.1} KB zipped",
+        rec.meta.label,
+        rec.meta.job_count,
+        rec.meta.regio_count,
+        rec.actions.len(),
+        rec.to_bytes().len() as f64 / 1024.0
+    );
+    let bytes = rec.to_bytes();
+    let input_len = recs.net.input_len();
+    harness.finish();
+
+    // ---- Target machine: replayer only, no GPU stack (Figure 1, right) ----
+    let target = Machine::new(&sku::MALI_G71, 43);
+    let env = Environment::new(EnvKind::UserLevel, target)?;
+    let mut replayer = Replayer::new(env);
+    let id = replayer.load_bytes(&bytes)?;
+
+    let input = vec![0.25f32; input_len];
+    let mut io = ReplayIo::for_recording(replayer.recording(id));
+    io.set_input_f32(0, &input);
+    let report = replayer.replay(id, &mut io)?;
+    let logits = io.output_f32(0);
+    println!(
+        "replayed {} actions / {} jobs in {} (startup {})",
+        report.actions, report.jobs, report.wall, report.startup
+    );
+    println!("class probabilities: {logits:?}");
+    let best = logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or_default();
+    println!("predicted class: {best}");
+    replayer.cleanup();
+    Ok(())
+}

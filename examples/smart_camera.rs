@@ -1,0 +1,47 @@
+//! Deployment scenario D3 (headless device): a smart camera runs a
+//! YOLO-style detector trunk baremetal — the replayer *is* the system's
+//! whole GPU stack, bringing up SoC power/clocks itself.
+//!
+//! Run with: `cargo run --example smart_camera --release`
+
+use gpureplay::prelude::*;
+use gr_sim::SimRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Developer machine: record the vision pipeline on the v3d stack.
+    let model = models::by_name("YOLOv4-tiny-trunk").expect("catalog model");
+    let dev = Machine::new(&sku::V3D_RPI4, 7);
+    let mut harness = RecordHarness::new(dev)?;
+    let recs = harness.record_inference(&model, Granularity::WholeNn, 3)?;
+    let blob = recs.recordings[0].to_bytes();
+    let input_len = recs.net.input_len();
+    harness.finish();
+    println!(
+        "shipped recording: {:.1} KB (fits beside the ~50 KB baremetal replayer binary)",
+        blob.len() as f64 / 1024.0
+    );
+
+    // The camera: no OS, no stack. The baremetal environment performs the
+    // firmware-mailbox power bring-up the kernel would normally do.
+    let camera = Machine::new(&sku::V3D_RPI4, 8);
+    let env = Environment::new(EnvKind::Baremetal, camera)?;
+    let mut replayer = Replayer::new(env);
+    let id = replayer.load_bytes(&blob)?;
+
+    // Continuous detection loop over "camera frames".
+    let mut rng = SimRng::seed_from(99);
+    for frame in 0..5 {
+        let pixels: Vec<f32> = (0..input_len).map(|_| rng.unit_f64() as f32).collect();
+        let mut io = ReplayIo::for_recording(replayer.recording(id));
+        io.set_input_f32(0, &pixels);
+        let report = replayer.replay(id, &mut io)?;
+        let feat = io.output_f32(0);
+        let activation: f32 = feat.iter().map(|v| v.abs()).sum::<f32>() / feat.len() as f32;
+        println!(
+            "frame {frame}: {} jobs in {}, mean feature activation {activation:.4}",
+            report.jobs, report.wall
+        );
+    }
+    replayer.cleanup();
+    Ok(())
+}

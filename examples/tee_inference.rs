@@ -1,0 +1,53 @@
+//! Deployment scenario D2 (TrustZone): private inference inside the
+//! secure world, with hostile recordings rejected by the verifier.
+//!
+//! Run with: `cargo run --example tee_inference --release`
+
+use gpureplay::prelude::*;
+use gr_recording::{Action, RecordingMeta, TimedAction};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record a MobileNet embedding network at development time.
+    let model = models::by_name("MobileNet-embedding").expect("catalog model");
+    let dev = Machine::new(&sku::MALI_G71, 21);
+    let mut harness = RecordHarness::new(dev)?;
+    let recs = harness.record_inference(&model, Granularity::WholeNn, 6)?;
+    let blob = recs.recordings[0].to_bytes();
+    let input_len = recs.net.input_len();
+    harness.finish();
+
+    // Secure world: the replayer is the only GPU code inside the TEE.
+    let device = Machine::new(&sku::MALI_G71, 22);
+    let env = Environment::new(EnvKind::Tee, device)?;
+    let mut replayer = Replayer::new(env);
+
+    // An attacker in the normal world ships a fabricated recording that
+    // pokes an undefined register — the verifier rejects it statically.
+    let mut evil = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "evil"));
+    evil.actions.push(TimedAction::immediate(Action::RegWrite {
+        reg: 0x2EE0,
+        mask: u32::MAX,
+        val: 0xDEAD_BEEF,
+    }));
+    match replayer.load(evil) {
+        Err(e) => println!("hostile recording rejected: {e}"),
+        Ok(_) => unreachable!("verifier must reject"),
+    }
+
+    // The genuine recording runs on secret data that never leaves the TEE.
+    let id = replayer.load_bytes(&blob)?;
+    let secret_face = vec![0.37f32; input_len];
+    let mut io = ReplayIo::for_recording(replayer.recording(id));
+    io.set_input_f32(0, &secret_face);
+    let report = replayer.replay(id, &mut io)?;
+    let embedding = io.output_f32(0);
+    println!(
+        "secure inference: {} jobs in {}, embedding dim {} (norm {:.4})",
+        report.jobs,
+        report.wall,
+        embedding.len(),
+        embedding.iter().map(|v| v * v).sum::<f32>().sqrt()
+    );
+    replayer.cleanup();
+    Ok(())
+}

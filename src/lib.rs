@@ -1,0 +1,56 @@
+//! GPUReplay: a record-and-replay GPU stack for client ML.
+//!
+//! Facade crate re-exporting the whole reproduction: the simulated SoC and
+//! GPUs, the full GPU software stack, the ML frameworks, and — the paper's
+//! contribution — the recorder and the tiny replayer that substitutes the
+//! stack at run time.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results. Run `cargo run -p gr-bench --bin
+//! all_experiments --release` to regenerate every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gpureplay::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Development machine: record MNIST on the full stack.
+//! let dev = Machine::new(&sku::MALI_G71, 42);
+//! let mut harness = RecordHarness::new(dev)?;
+//! let recs = harness.record_inference(&models::mnist(), Granularity::WholeNn, 7)?;
+//! let bytes = recs.recordings[0].to_bytes();
+//! harness.finish();
+//!
+//! // Target machine: replay on new input, no GPU stack anywhere.
+//! let target = Machine::new(&sku::MALI_G71, 43);
+//! let env = Environment::new(EnvKind::UserLevel, target)?;
+//! let mut replayer = Replayer::new(env);
+//! let id = replayer.load_bytes(&bytes)?;
+//! let mut io = ReplayIo::for_recording(replayer.recording(id));
+//! io.set_input_f32(0, &vec![0.5; 784]);
+//! replayer.replay(id, &mut io)?;
+//! println!("logits: {:?}", io.output_f32(0));
+//! # Ok(()) }
+//! ```
+
+pub use gr_gpu as gpu;
+pub use gr_mlfw as mlfw;
+pub use gr_recorder as recorder;
+pub use gr_recording as recording;
+pub use gr_replayer as replayer;
+pub use gr_sim as sim;
+pub use gr_soc as soc;
+pub use gr_stack as stack;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use gr_gpu::{sku, Machine};
+    pub use gr_mlfw::fusion::Granularity;
+    pub use gr_mlfw::models;
+    pub use gr_recorder::RecordHarness;
+    pub use gr_recording::Recording;
+    pub use gr_replayer::{
+        patch_recording, EnvKind, Environment, PatchOptions, ReplayIo, Replayer,
+    };
+}
