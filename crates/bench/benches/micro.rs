@@ -9,7 +9,13 @@ use gr_recording::{grz_compress, grz_decompress, Recording};
 use gr_replayer::{EnvKind, Environment, NanoIface, ReplayIo, Replayer};
 
 fn bench_replay(c: &mut Criterion) {
-    let rm = gr_bench::record_model(&sku::MALI_G71, &models::mnist(), Granularity::WholeNn, true, 7);
+    let rm = gr_bench::record_model(
+        &sku::MALI_G71,
+        &models::mnist(),
+        Granularity::WholeNn,
+        true,
+        7,
+    );
     let input: Vec<f32> = (0..rm.net.input_len()).map(|i| i as f32 * 0.001).collect();
     c.bench_function("replay_mnist_whole_nn", |b| {
         b.iter(|| {
@@ -24,9 +30,7 @@ fn bench_replay(c: &mut Criterion) {
         })
     });
     c.bench_function("verify_mnist_recording", |b| {
-        b.iter(|| {
-            gr_replayer::verify::verify(&rm.recordings[0], NanoIface::Mali, 1 << 20).unwrap()
-        })
+        b.iter(|| gr_replayer::verify::verify(&rm.recordings[0], NanoIface::Mali, 1 << 20).unwrap())
     });
     let bytes = rm.recordings[0].to_bytes();
     c.bench_function("container_decode", |b| {
@@ -41,7 +45,9 @@ fn bench_codec(c: &mut Criterion) {
     }
     let z = grz_compress(&data);
     c.bench_function("grz_compress_256k", |b| b.iter(|| grz_compress(&data)));
-    c.bench_function("grz_decompress_256k", |b| b.iter(|| grz_decompress(&z).unwrap()));
+    c.bench_function("grz_decompress_256k", |b| {
+        b.iter(|| grz_decompress(&z).unwrap())
+    });
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -53,7 +59,9 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| kernels::conv2d(&x, &w, None, 8, 28, 28, 16, 3, 3, 1, 1, 1, ActKind::Relu))
     });
     let a: Vec<f32> = (0..128 * 128).map(|i| i as f32 * 1e-4).collect();
-    c.bench_function("vm_matmul_128", |b| b.iter(|| kernels::matmul(&a, &a, 128, 128, 128)));
+    c.bench_function("vm_matmul_128", |b| {
+        b.iter(|| kernels::matmul(&a, &a, 128, 128, 128))
+    });
 }
 
 criterion_group! {

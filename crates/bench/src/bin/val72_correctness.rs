@@ -1,5 +1,8 @@
 //! §7.2 correctness validation campaign (scaled-down run count).
 fn main() {
-    let runs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     println!("{}", gr_bench::val72_correctness(runs));
 }

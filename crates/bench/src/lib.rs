@@ -185,7 +185,13 @@ pub fn fig03_sync_overhead() -> String {
 
 /// Figure 5: intervals between CPU/GPU interactions, accumulated per job.
 pub fn fig05_interaction_gaps() -> String {
-    let rm = record_model(&sku::MALI_G71, &models::alexnet(), Granularity::WholeNn, false, 51);
+    let rm = record_model(
+        &sku::MALI_G71,
+        &models::alexnet(),
+        Granularity::WholeNn,
+        false,
+        51,
+    );
     let rec = &rm.recordings[0];
     // Accumulate recorded inter-action gaps per job (job boundary = WaitIrq).
     let mut per_job: Vec<u64> = Vec::new();
@@ -202,7 +208,13 @@ pub fn fig05_interaction_gaps() -> String {
          | job span | accumulated gap (ms) |\n|---|---|\n",
     );
     for (i, gap) in per_job.iter().take(12).enumerate() {
-        let _ = writeln!(out, "| start-{} .. {} | {:.3} |", i, i + 1, *gap as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "| start-{} .. {} | {:.3} |",
+            i,
+            i + 1,
+            *gap as f64 / 1e6
+        );
     }
     let tail: u64 = per_job.iter().skip(12).sum();
     let _ = writeln!(out, "| 12 .. end | {:.3} |", tail as f64 / 1e6);
@@ -252,11 +264,23 @@ pub fn tab04_codebase() -> String {
         "## Table 4 — Codebase comparison (SLoC of this reproduction)\n\n\
          | component | SLoC | role |\n|---|---|---|\n",
     );
-    let _ = writeln!(out, "| ML framework (ACL/ncnn stand-in) | {mlfw} | original stack |");
-    let _ = writeln!(out, "| GPU runtime (blackbox) | {runtime} | original stack |");
+    let _ = writeln!(
+        out,
+        "| ML framework (ACL/ncnn stand-in) | {mlfw} | original stack |"
+    );
+    let _ = writeln!(
+        out,
+        "| GPU runtime (blackbox) | {runtime} | original stack |"
+    );
     let _ = writeln!(out, "| GPU kernel drivers | {driver} | original stack |");
-    let _ = writeln!(out, "| Recorder (in-driver) | {recorder} | GR, dev machine only |");
-    let _ = writeln!(out, "| **Replayer (whole target-side stack)** | **{replayer}** | GR |");
+    let _ = writeln!(
+        out,
+        "| Recorder (in-driver) | {recorder} | GR, dev machine only |"
+    );
+    let _ = writeln!(
+        out,
+        "| **Replayer (whole target-side stack)** | **{replayer}** | GR |"
+    );
     let _ = writeln!(
         out,
         "\nReplayer/stack ratio: {:.1}% (paper: a few K SLoC replacing a 45K SLoC driver + 48 MB runtime).\n",
@@ -274,30 +298,105 @@ pub fn tab05_cve() -> String {
 
     let mut rows = Vec::new();
     // CVE-2014-1376 class: arbitrary runtime API abuse -> no runtime exists.
-    rows.push(("CVE-2014-1376 (OpenCL call abuse)", "runtime removed from target", "eliminated"));
+    rows.push((
+        "CVE-2014-1376 (OpenCL call abuse)",
+        "runtime removed from target",
+        "eliminated",
+    ));
     // CVE-2019-5068 class: shared-memory permission abuse -> replayer maps only recording memory.
-    rows.push(("CVE-2019-5068 (shared mem perms)", "runtime removed; nano driver maps zeroed frames", "eliminated"));
-    rows.push(("CVE-2018-6253 (malformed shaders hang)", "shaders fixed at record time", "eliminated"));
+    rows.push((
+        "CVE-2019-5068 (shared mem perms)",
+        "runtime removed; nano driver maps zeroed frames",
+        "eliminated",
+    ));
+    rows.push((
+        "CVE-2018-6253 (malformed shaders hang)",
+        "shaders fixed at record time",
+        "eliminated",
+    ));
     // Driver-class CVEs: demonstrate the verifier rejecting the exploit shapes.
-    let mut bad_reg = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "cve"));
-    bad_reg.actions.push(TimedAction::immediate(Action::RegWrite { reg: 0x2FF4, mask: u32::MAX, val: 1 }));
+    let mut bad_reg = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "cve",
+    ));
+    bad_reg
+        .actions
+        .push(TimedAction::immediate(Action::RegWrite {
+            reg: 0x2FF4,
+            mask: u32::MAX,
+            val: 1,
+        }));
     let r1 = replayer.load(bad_reg).is_err();
-    rows.push(("CVE-2017-18643 (kernel info leak)", "ioctl surface gone; illegal reg write rejected", if r1 { "blocked (verified)" } else { "FAILED" }));
-    let mut bad_map = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "cve"));
-    bad_map.actions.push(TimedAction::immediate(Action::MapGpuMem { va: NanoIfaceVaLimit(), pte_flags: vec![0xB] }));
+    rows.push((
+        "CVE-2017-18643 (kernel info leak)",
+        "ioctl surface gone; illegal reg write rejected",
+        if r1 { "blocked (verified)" } else { "FAILED" },
+    ));
+    let mut bad_map = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "cve",
+    ));
+    bad_map
+        .actions
+        .push(TimedAction::immediate(Action::MapGpuMem {
+            va: NanoIfaceVaLimit(),
+            pte_flags: vec![0xB],
+        }));
     let r2 = replayer.load(bad_map).is_err();
-    rows.push(("CVE-2019-20577 (invalid addr mapping)", "out-of-space mapping rejected", if r2 { "blocked (verified)" } else { "FAILED" }));
-    let mut hog = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "cve"));
-    hog.actions.push(TimedAction::immediate(Action::MapGpuMem { va: 0, pte_flags: vec![0xB; 1 << 17] }));
+    rows.push((
+        "CVE-2019-20577 (invalid addr mapping)",
+        "out-of-space mapping rejected",
+        if r2 { "blocked (verified)" } else { "FAILED" },
+    ));
+    let mut hog = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "cve",
+    ));
+    hog.actions.push(TimedAction::immediate(Action::MapGpuMem {
+        va: 0,
+        pte_flags: vec![0xB; 1 << 17],
+    }));
     let r3 = replayer.load(hog).is_err();
-    rows.push(("CVE-2019-10520 (GPU mem exhaustion)", "peak-page cap enforced", if r3 { "blocked (verified)" } else { "FAILED" }));
-    let mut upload = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "cve"));
-    upload.dumps.push(gr_recording::Dump { va: 0x40_0000, bytes: vec![0; 4096] });
-    upload.actions.push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+    rows.push((
+        "CVE-2019-10520 (GPU mem exhaustion)",
+        "peak-page cap enforced",
+        if r3 { "blocked (verified)" } else { "FAILED" },
+    ));
+    let mut upload = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "cve",
+    ));
+    upload.dumps.push(gr_recording::Dump {
+        va: 0x40_0000,
+        bytes: vec![0; 4096],
+    });
+    upload
+        .actions
+        .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
     let r4 = replayer.load(upload).is_err();
-    rows.push(("CVE-2014-0972 (IOMMU pgtable overwrite)", "dumps must target replayer-mapped pages", if r4 { "blocked (verified)" } else { "FAILED" }));
-    rows.push(("CVE-2020-11179 (ringbuffer race)", "no shared ring; one job at a time", "eliminated"));
-    rows.push(("CVE-2019-14615 (register-file leak)", "fine-grained sharing disabled; reset-on-handoff", "eliminated"));
+    rows.push((
+        "CVE-2014-0972 (IOMMU pgtable overwrite)",
+        "dumps must target replayer-mapped pages",
+        if r4 { "blocked (verified)" } else { "FAILED" },
+    ));
+    rows.push((
+        "CVE-2020-11179 (ringbuffer race)",
+        "no shared ring; one job at a time",
+        "eliminated",
+    ));
+    rows.push((
+        "CVE-2019-14615 (register-file leak)",
+        "fine-grained sharing disabled; reset-on-handoff",
+        "eliminated",
+    ));
     replayer.cleanup();
 
     let mut out = String::from(
@@ -350,8 +449,18 @@ pub fn fig06_07_startup_inference() -> String {
         "## Figures 6 & 7 — Startup and inference delays (OS = full stack, GR = replayer)\n",
     );
     for (title, sku_ref, env, suite) in [
-        ("Mali G71 (user-level replayer)", &sku::MALI_G71, EnvKind::UserLevel, models::mali_suite()),
-        ("v3d (kernel-level replayer)", &sku::V3D_RPI4, EnvKind::KernelLevel, models::v3d_suite()),
+        (
+            "Mali G71 (user-level replayer)",
+            &sku::MALI_G71,
+            EnvKind::UserLevel,
+            models::mali_suite(),
+        ),
+        (
+            "v3d (kernel-level replayer)",
+            &sku::V3D_RPI4,
+            EnvKind::KernelLevel,
+            models::v3d_suite(),
+        ),
     ] {
         let _ = writeln!(
             out,
@@ -412,7 +521,11 @@ pub fn fig08_training() -> String {
     let env = Environment::new(EnvKind::UserLevel, target.clone()).unwrap();
     let mut replayer = Replayer::new(env);
     let id = replayer.load_bytes(&bytes).unwrap();
-    let mut w: Vec<Vec<u8>> = trec.initial_weights.iter().map(|(_, b)| b.clone()).collect();
+    let mut w: Vec<Vec<u8>> = trec
+        .initial_weights
+        .iter()
+        .map(|(_, b)| b.clone())
+        .collect();
     let mut gr_startup = target.now() - t0;
     let t1 = target.now();
     for i in 0..20 {
@@ -467,7 +580,11 @@ pub fn fig09_cross_sku() -> String {
         replayer.cleanup();
         Ok(report.wall - report.startup)
     };
-    for (src, label) in [(&sku::MALI_G31, "G31 (1 core)"), (&sku::MALI_G52, "G52 (2 cores)"), (&sku::MALI_G71, "G71 (8 cores)")] {
+    for (src, label) in [
+        (&sku::MALI_G31, "G31 (1 core)"),
+        (&sku::MALI_G52, "G52 (2 cores)"),
+        (&sku::MALI_G71, "G71 (8 cores)"),
+    ] {
         let dev = Machine::new(src, 91);
         let mut harness = RecordHarness::new(dev).unwrap();
         let rec = harness.record_vecadd(1024, 16_000_000, 9).unwrap();
@@ -482,12 +599,22 @@ pub fn fig09_cross_sku() -> String {
                 "| {label} | none | replay error: {} |",
                 unpatched.err().map_or("-".into(), |e| e.to_string())
             );
-            let partial = patch_recording(&rec, src, &sku::MALI_G71, PatchOptions::without_affinity()).unwrap();
+            let partial =
+                patch_recording(&rec, src, &sku::MALI_G71, PatchOptions::without_affinity())
+                    .unwrap();
             let t1 = run_on_g71(&partial).unwrap();
-            let _ = writeln!(out, "| {label} | pgtable+MMUreg | {:.3} |", t1.as_millis_f64());
+            let _ = writeln!(
+                out,
+                "| {label} | pgtable+MMUreg | {:.3} |",
+                t1.as_millis_f64()
+            );
             let full = patch_recording(&rec, src, &sku::MALI_G71, PatchOptions::full()).unwrap();
             let t2 = run_on_g71(&full).unwrap();
-            let _ = writeln!(out, "| {label} | pgtable+MMUreg+affinity | {:.3} |", t2.as_millis_f64());
+            let _ = writeln!(
+                out,
+                "| {label} | pgtable+MMUreg+affinity | {:.3} |",
+                t2.as_millis_f64()
+            );
         }
     }
     out.push_str("\nPaper: unpatched fails; pgtable/MMU patch replays 4–8x slower; affinity patch restores full speed.\n");
@@ -531,7 +658,11 @@ pub fn fig11_granularity() -> String {
     );
     for model in [models::mnist(), models::alexnet(), models::vgg16()] {
         let mut cells = Vec::new();
-        for g in [Granularity::WholeNn, Granularity::PerFusedLayer, Granularity::PerLayer] {
+        for g in [
+            Granularity::WholeNn,
+            Granularity::PerFusedLayer,
+            Granularity::PerLayer,
+        ] {
             let rm = record_model(&sku::MALI_G71, &model, g, true, 111);
             let input = random_input(rm.net.input_len(), 4);
             let gr = measure_gr(&sku::MALI_G71, &rm, EnvKind::UserLevel, &input, 112);
@@ -541,7 +672,11 @@ pub fn fig11_granularity() -> String {
                 rm.blobs.len()
             ));
         }
-        let _ = writeln!(out, "| {} | {} | {} | {} |", model.name, cells[0], cells[1], cells[2]);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            model.name, cells[0], cells[1], cells[2]
+        );
     }
     out.push_str("\nPaper: fused-layer recordings cost ~15% over monolithic; per-layer worst (extra replayer startups).\n");
     out
@@ -549,7 +684,13 @@ pub fn fig11_granularity() -> String {
 
 /// §7.2 validation: repeated replays under interference + fault recovery.
 pub fn val72_correctness(runs: usize) -> String {
-    let rm = record_model(&sku::MALI_G71, &models::mnist(), Granularity::WholeNn, true, 121);
+    let rm = record_model(
+        &sku::MALI_G71,
+        &models::mnist(),
+        Granularity::WholeNn,
+        true,
+        121,
+    );
     let mut ok = 0usize;
     let mut recovered = 0usize;
     for i in 0..runs {
@@ -616,7 +757,8 @@ pub fn tab73_memory() -> String {
 
 /// §7.5 preemption: delay an interactive app perceives.
 pub fn fig_preemption() -> String {
-    let mut out = String::from("## §7.5 — GPU preemption delay\n\n| GPU | delay (µs) |\n|---|---|\n");
+    let mut out =
+        String::from("## §7.5 — GPU preemption delay\n\n| GPU | delay (µs) |\n|---|---|\n");
     for sku_ref in [&sku::MALI_G71, &sku::V3D_RPI4] {
         let machine = Machine::new(sku_ref, 141);
         let env = Environment::new(EnvKind::UserLevel, machine.clone()).unwrap();
@@ -624,7 +766,12 @@ pub fn fig_preemption() -> String {
         let lease = replayer.lease();
         lease.revoke(); // interactive app asked for the GPU
         let d = preempt_gpu(&machine);
-        let _ = writeln!(out, "| {} | {:.1} |", sku_ref.name, d.as_nanos() as f64 / 1e3);
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} |",
+            sku_ref.name,
+            d.as_nanos() as f64 / 1e3
+        );
         replayer.cleanup();
     }
     out.push_str("\nPaper: below 1 ms on both GPUs (flush + TLB + soft reset).\n");
@@ -633,7 +780,13 @@ pub fn fig_preemption() -> String {
 
 /// §7.5 checkpoint vs re-execution.
 pub fn fig_checkpoint() -> String {
-    let rm = record_model(&sku::MALI_G71, &models::mobilenet(), Granularity::WholeNn, true, 151);
+    let rm = record_model(
+        &sku::MALI_G71,
+        &models::mobilenet(),
+        Granularity::WholeNn,
+        true,
+        151,
+    );
     let input = random_input(rm.net.input_len(), 6);
     let run = |every: Option<u32>| -> f64 {
         let machine = Machine::new(&sku::MALI_G71, 152);
@@ -669,7 +822,11 @@ mod tests {
     #[test]
     fn os_measurement_is_sane() {
         let run = measure_os(&sku::MALI_G71, &models::mnist(), true, 1);
-        assert!(run.startup > SimDuration::from_millis(100), "startup {}", run.startup);
+        assert!(
+            run.startup > SimDuration::from_millis(100),
+            "startup {}",
+            run.startup
+        );
         assert!(run.jobs > 5);
         assert!(run.rss > 100 * 1024 * 1024);
     }
@@ -677,7 +834,13 @@ mod tests {
     #[test]
     fn gr_is_much_faster_to_start() {
         let os = measure_os(&sku::MALI_G71, &models::mnist(), false, 2);
-        let rm = record_model(&sku::MALI_G71, &models::mnist(), Granularity::WholeNn, true, 2);
+        let rm = record_model(
+            &sku::MALI_G71,
+            &models::mnist(),
+            Granularity::WholeNn,
+            true,
+            2,
+        );
         let input = random_input(rm.net.input_len(), 9);
         let gr = measure_gr(&sku::MALI_G71, &rm, EnvKind::UserLevel, &input, 3);
         assert!(

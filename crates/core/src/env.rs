@@ -160,7 +160,12 @@ mod tests {
 
     #[test]
     fn all_envs_power_the_gpu() {
-        for kind in [EnvKind::UserLevel, EnvKind::KernelLevel, EnvKind::Tee, EnvKind::Baremetal] {
+        for kind in [
+            EnvKind::UserLevel,
+            EnvKind::KernelLevel,
+            EnvKind::Tee,
+            EnvKind::Baremetal,
+        ] {
             let machine = Machine::new(&MALI_G71, 3);
             let env = Environment::new(kind, machine.clone()).unwrap();
             assert!(machine.pmc().is_stable(PmcDomain::GpuCore), "{kind}");

@@ -52,7 +52,10 @@ pub fn preempt_gpu(machine: &Machine) -> SimDuration {
     match machine.sku().family {
         GpuFamilyKind::Mali => {
             machine.gpu_write32(mali::regs::JS0_COMMAND, mali::regs::JS_CMD_HARD_STOP);
-            machine.gpu_write32(mali::regs::GPU_COMMAND, mali::regs::GPU_CMD_CLEAN_INV_CACHES);
+            machine.gpu_write32(
+                mali::regs::GPU_COMMAND,
+                mali::regs::GPU_CMD_CLEAN_INV_CACHES,
+            );
             machine.poll_reg(
                 mali::regs::GPU_IRQ_RAWSTAT,
                 mali::regs::GPU_IRQ_CLEAN_CACHES_COMPLETED,
@@ -60,7 +63,10 @@ pub fn preempt_gpu(machine: &Machine) -> SimDuration {
                 SimDuration::from_micros(2),
                 SimDuration::from_millis(5),
             );
-            machine.gpu_write32(mali::regs::GPU_IRQ_CLEAR, mali::regs::GPU_IRQ_CLEAN_CACHES_COMPLETED);
+            machine.gpu_write32(
+                mali::regs::GPU_IRQ_CLEAR,
+                mali::regs::GPU_IRQ_CLEAN_CACHES_COMPLETED,
+            );
             machine.gpu_write32(mali::regs::GPU_COMMAND, mali::regs::GPU_CMD_SOFT_RESET);
             machine.poll_reg(
                 mali::regs::GPU_IRQ_RAWSTAT,
@@ -69,7 +75,10 @@ pub fn preempt_gpu(machine: &Machine) -> SimDuration {
                 SimDuration::from_micros(2),
                 SimDuration::from_millis(5),
             );
-            machine.gpu_write32(mali::regs::GPU_IRQ_CLEAR, mali::regs::GPU_IRQ_RESET_COMPLETED);
+            machine.gpu_write32(
+                mali::regs::GPU_IRQ_CLEAR,
+                mali::regs::GPU_IRQ_RESET_COMPLETED,
+            );
         }
         GpuFamilyKind::V3d => {
             machine.gpu_write32(v3d::regs::CACHE_CLEAN, 1);

@@ -120,7 +120,10 @@ impl NanoIface {
                     mali::regs::GPU_IRQ_RESET_COMPLETED,
                     mali::regs::GPU_IRQ_RESET_COMPLETED,
                 )?;
-                machine.gpu_write32(mali::regs::GPU_IRQ_CLEAR, mali::regs::GPU_IRQ_RESET_COMPLETED);
+                machine.gpu_write32(
+                    mali::regs::GPU_IRQ_CLEAR,
+                    mali::regs::GPU_IRQ_RESET_COMPLETED,
+                );
             }
             NanoIface::V3d => {
                 machine.gpu_write32(v3d::regs::CTL_RESET, 1);
@@ -212,9 +215,11 @@ impl NanoIface {
         let mem = machine.mem();
         match self {
             NanoIface::Mali => {
-                if let Ok(l1) = mem.read_u64(root_pa + ((va >> MALI_L1_SHIFT) & MALI_IDX_MASK) * 8) {
+                if let Ok(l1) = mem.read_u64(root_pa + ((va >> MALI_L1_SHIFT) & MALI_IDX_MASK) * 8)
+                {
                     if l1 & 1 != 0 {
-                        let pte_pa = (l1 & MALI_PA_MASK) + ((va >> MALI_L2_SHIFT) & MALI_IDX_MASK) * 8;
+                        let pte_pa =
+                            (l1 & MALI_PA_MASK) + ((va >> MALI_L2_SHIFT) & MALI_IDX_MASK) * 8;
                         let _ = mem.write_u64(pte_pa, 0);
                     }
                 }
@@ -262,10 +267,16 @@ mod tests {
         let frame = machine.frames().lock().alloc().unwrap();
         // Map with raw bits 0xF (whatever they mean) and read back through
         // the device's own walker in standard format.
-        iface.map_page_raw(&machine, root, 0x40_0000, frame, 0xF).unwrap();
-        let (pa, flags) =
-            gr_gpu::mali::pgtable::translate(machine.mem(), gr_gpu::PteFormat::MaliStandard, root, 0x40_0000)
-                .unwrap();
+        iface
+            .map_page_raw(&machine, root, 0x40_0000, frame, 0xF)
+            .unwrap();
+        let (pa, flags) = gr_gpu::mali::pgtable::translate(
+            machine.mem(),
+            gr_gpu::PteFormat::MaliStandard,
+            root,
+            0x40_0000,
+        )
+        .unwrap();
         assert_eq!(pa, frame);
         assert!(flags.valid && flags.write && flags.exec && flags.cpu_mapped);
         iface.unmap_page_raw(&machine, root, 0x40_0000);
@@ -285,7 +296,9 @@ mod tests {
         let (root, frames) = iface.alloc_root(&machine).unwrap();
         assert_eq!(frames.len(), v3d::pgtable::PT_PAGES);
         let frame = machine.frames().lock().alloc().unwrap();
-        iface.map_page_raw(&machine, root, 0x9000, frame, 0x3).unwrap();
+        iface
+            .map_page_raw(&machine, root, 0x9000, frame, 0x3)
+            .unwrap();
         let (pa, fl) = gr_gpu::v3d::pgtable::translate(machine.mem(), root, 0x9000).unwrap();
         assert_eq!(pa, frame);
         assert!(fl.write);
@@ -295,7 +308,10 @@ mod tests {
     fn soft_reset_completes_on_powered_machines() {
         let machine = Machine::new(&MALI_G71, 1);
         // Power the domains like an OS kernel would.
-        for d in [gr_soc::pmc::PmcDomain::GpuCore, gr_soc::pmc::PmcDomain::GpuMem] {
+        for d in [
+            gr_soc::pmc::PmcDomain::GpuCore,
+            gr_soc::pmc::PmcDomain::GpuMem,
+        ] {
             machine.pmc().write32(gr_soc::pmc::Pmc::pwr_ctrl_off(d), 1);
         }
         machine.advance(gr_soc::pmc::SETTLE_DELAY);

@@ -85,7 +85,8 @@ impl NanoDriver {
                 "conflicting mapping at {va:#x}"
             )));
         }
-        self.machine.advance(costs::MAP_PER_PAGE * flags.len() as u64);
+        self.machine
+            .advance(costs::MAP_PER_PAGE * flags.len() as u64);
         let mut pas = Vec::with_capacity(flags.len());
         for (i, &bits) in flags.iter().enumerate() {
             let pa = self
@@ -145,7 +146,8 @@ impl NanoDriver {
             .collect();
         for (va, pas, flags) in regions {
             for (i, (&pa, &bits)) in pas.iter().zip(flags.iter()).enumerate() {
-                self.iface.unmap_page_raw(&self.machine, self.root_pa, va + (i * PAGE_SIZE) as u64);
+                self.iface
+                    .unmap_page_raw(&self.machine, self.root_pa, va + (i * PAGE_SIZE) as u64);
                 if let Some(f) = self.iface.map_page_raw(
                     &self.machine,
                     self.root_pa,
@@ -240,7 +242,10 @@ impl NanoDriver {
 
     /// Total mapped bytes.
     pub fn mapped_bytes(&self) -> u64 {
-        self.regions.values().map(|r| (r.pages * PAGE_SIZE) as u64).sum()
+        self.regions
+            .values()
+            .map(|r| (r.pages * PAGE_SIZE) as u64)
+            .sum()
     }
 
     /// Frees everything (Cleanup API).
@@ -265,8 +270,11 @@ mod tests {
         let machine = Machine::new(&MALI_G71, 2);
         let mut nano = NanoDriver::new(machine.clone(), NanoIface::Mali).unwrap();
         nano.map(0x10_0000, &[0xF, 0xF]).unwrap();
-        nano.write_va(0x10_0FF0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17])
-            .unwrap();
+        nano.write_va(
+            0x10_0FF0,
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17],
+        )
+        .unwrap();
         let mut back = [0u8; 17];
         nano.read_va(0x10_0FF0, &mut back).unwrap();
         assert_eq!(back[0], 1);
@@ -289,7 +297,7 @@ mod tests {
         machine.frames().lock().free(dirty).unwrap();
         let mut nano = NanoDriver::new(machine.clone(), NanoIface::Mali).unwrap();
         // Map enough pages to certainly reuse the dirty frame.
-        nano.map(0x20_0000, &vec![0xB; 16]).unwrap();
+        nano.map(0x20_0000, &[0xB; 16]).unwrap();
         let mut buf = vec![0u8; 16 * PAGE_SIZE];
         nano.read_va(0x20_0000, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "§5.1: frames must be scrubbed");

@@ -107,7 +107,8 @@ pub fn patch_recording(
             }
             Action::MapGpuMem { pte_flags, .. } if opts.pgtable_format => {
                 for bits in pte_flags.iter_mut() {
-                    *bits = convert_flag_bits(from.pte_format, to.pte_format, u64::from(*bits)) as u16;
+                    *bits =
+                        convert_flag_bits(from.pte_format, to.pte_format, u64::from(*bits)) as u16;
                 }
             }
             _ => {}
@@ -138,12 +139,10 @@ mod tests {
             }),
             TimedAction::immediate(Action::MapGpuMem {
                 va: 0x10_0000,
-                pte_flags: vec![
-                    gr_gpu::mali::pgtable::encode_flags(
-                        PteFormat::MaliLpae,
-                        gr_gpu::mali::pgtable::PteFlags::rw_cpu(),
-                    ) as u16,
-                ],
+                pte_flags: vec![gr_gpu::mali::pgtable::encode_flags(
+                    PteFormat::MaliLpae,
+                    gr_gpu::mali::pgtable::PteFlags::rw_cpu(),
+                ) as u16],
             }),
             TimedAction::immediate(Action::RegWrite {
                 reg: mr::JS0_AFFINITY,
@@ -175,10 +174,13 @@ mod tests {
             gr_gpu::mali::pgtable::PteFlags::rw_cpu(),
         ) as u16;
         assert_eq!(pte_flags[0], std_rw, "permission bits re-arranged");
-        assert!(matches!(
-            patched.actions[3].action,
-            Action::RegWrite { val: 0xFF, .. }
-        ), "affinity widened to 8 cores");
+        assert!(
+            matches!(
+                patched.actions[3].action,
+                Action::RegWrite { val: 0xFF, .. }
+            ),
+            "affinity widened to 8 cores"
+        );
     }
 
     #[test]

@@ -35,8 +35,16 @@ impl ReplayIo {
     /// Builds an IO block shaped for `rec` (inputs zeroed, outputs sized).
     pub fn for_recording(rec: &Recording) -> ReplayIo {
         ReplayIo {
-            inputs: rec.inputs.iter().map(|s| vec![0u8; s.len as usize]).collect(),
-            outputs: rec.outputs.iter().map(|s| vec![0u8; s.len as usize]).collect(),
+            inputs: rec
+                .inputs
+                .iter()
+                .map(|s| vec![0u8; s.len as usize])
+                .collect(),
+            outputs: rec
+                .outputs
+                .iter()
+                .map(|s| vec![0u8; s.len as usize])
+                .collect(),
         }
     }
 
@@ -204,7 +212,12 @@ impl Replayer {
                 io.inputs.len()
             )));
         }
-        for (i, (buf, slot)) in io.inputs.iter().zip(&self.loaded[id].rec.inputs).enumerate() {
+        for (i, (buf, slot)) in io
+            .inputs
+            .iter()
+            .zip(&self.loaded[id].rec.inputs)
+            .enumerate()
+        {
             if buf.len() != slot.len as usize {
                 return Err(ReplayError::Io(format!(
                     "input {i} is {} bytes, slot wants {}",
@@ -346,7 +359,11 @@ impl Replayer {
 
             let action = ta.action.clone();
             match action {
-                Action::RegReadOnce { reg, expect, ignore } => {
+                Action::RegReadOnce {
+                    reg,
+                    expect,
+                    ignore,
+                } => {
                     let got = machine.gpu_read32(reg);
                     if !ignore && got != expect {
                         return Err(ReplayError::Diverged {
@@ -358,9 +375,15 @@ impl Replayer {
                         });
                     }
                 }
-                Action::RegReadWait { reg, mask, val, timeout_ns } => {
+                Action::RegReadWait {
+                    reg,
+                    mask,
+                    val,
+                    timeout_ns,
+                } => {
                     let timeout = SimDuration::from_nanos(timeout_ns * delay_scale);
-                    let (got, _) = machine.poll_reg(reg, mask, val, SimDuration::from_micros(2), timeout);
+                    let (got, _) =
+                        machine.poll_reg(reg, mask, val, SimDuration::from_micros(2), timeout);
                     if got & mask != val {
                         return Err(ReplayError::PollTimeout {
                             index: idx,

@@ -137,16 +137,14 @@ pub fn verify(
                 };
                 check_mapped(&mapped_pages, s.va, u64::from(s.len), "output")?;
             }
-            Action::WaitIrq { line, .. } => {
-                if *line > iface.max_irq_line() {
-                    return Err(ReplayError::Verify(format!(
-                        "action {i}: irq line {line} does not exist"
-                    )));
-                }
+            Action::WaitIrq { line, .. } if *line > iface.max_irq_line() => {
+                return Err(ReplayError::Verify(format!(
+                    "action {i}: irq line {line} does not exist"
+                )));
             }
             Action::IrqContext { enter } => {
                 irq_depth += if *enter { 1 } else { -1 };
-                if irq_depth < 0 || irq_depth > 1 {
+                if !(0..=1).contains(&irq_depth) {
                     return Err(ReplayError::Verify(format!(
                         "action {i}: unbalanced interrupt context"
                     )));
@@ -156,7 +154,9 @@ pub fn verify(
         }
     }
     if irq_depth != 0 {
-        return Err(ReplayError::Verify("recording ends inside irq context".into()));
+        return Err(ReplayError::Verify(
+            "recording ends inside irq context".into(),
+        ));
     }
     Ok(VerifyReport {
         actions: rec.actions.len(),
@@ -182,10 +182,19 @@ mod tests {
     #[test]
     fn accepts_well_formed_recordings() {
         let mut rec = base_rec();
-        rec.dumps.push(Dump { va: 0x10_0000, bytes: vec![0; PAGE_SIZE] });
-        rec.actions.push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
-        rec.inputs.push(IoSlot { name: "in".into(), va: 0x10_1000, len: 64 });
-        rec.actions.push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        rec.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![0; PAGE_SIZE],
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_1000,
+            len: 64,
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
         rec.actions.push(TimedAction::immediate(Action::RegWrite {
             reg: gr_gpu::mali::regs::JS0_COMMAND,
             mask: u32::MAX,
@@ -211,8 +220,12 @@ mod tests {
     #[test]
     fn rejects_unmapped_gpu_access() {
         let mut rec = base_rec();
-        rec.dumps.push(Dump { va: 0x90_0000, bytes: vec![0; 16] });
-        rec.actions.push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.dumps.push(Dump {
+            va: 0x90_0000,
+            bytes: vec![0; 16],
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
         let err = verify(&rec, NanoIface::Mali, 1024).unwrap_err();
         assert!(err.to_string().contains("unmapped GPU memory"), "{err}");
     }
@@ -233,18 +246,26 @@ mod tests {
         let rec = base_rec();
         assert!(verify(&rec, NanoIface::V3d, 1024).is_err());
         let mut rec2 = base_rec();
-        rec2.actions.push(TimedAction::immediate(Action::WaitIrq { line: 5, timeout_ns: 1 }));
+        rec2.actions.push(TimedAction::immediate(Action::WaitIrq {
+            line: 5,
+            timeout_ns: 1,
+        }));
         assert!(verify(&rec2, NanoIface::Mali, 1024).is_err());
     }
 
     #[test]
     fn rejects_unbalanced_irq_context() {
         let mut rec = base_rec();
-        rec.actions.push(TimedAction::immediate(Action::IrqContext { enter: false }));
+        rec.actions
+            .push(TimedAction::immediate(Action::IrqContext { enter: false }));
         assert!(verify(&rec, NanoIface::Mali, 1024).is_err());
         let mut rec2 = base_rec();
-        rec2.actions.push(TimedAction::immediate(Action::IrqContext { enter: true }));
-        assert!(verify(&rec2, NanoIface::Mali, 1024).is_err(), "ends inside irq ctx");
+        rec2.actions
+            .push(TimedAction::immediate(Action::IrqContext { enter: true }));
+        assert!(
+            verify(&rec2, NanoIface::Mali, 1024).is_err(),
+            "ends inside irq ctx"
+        );
     }
 
     #[test]

@@ -124,21 +124,30 @@ mod tests {
         vm.write_bytes(va, &data).unwrap();
         assert_eq!(vm.read_bytes(va, 100).unwrap(), data);
         // The second half physically landed in page 4.
-        assert_eq!(mem.read_vec(4 * PAGE_SIZE as u64, 50).unwrap(), data[50..].to_vec());
+        assert_eq!(
+            mem.read_vec(4 * PAGE_SIZE as u64, 50).unwrap(),
+            data[50..].to_vec()
+        );
     }
 
     #[test]
     fn unmapped_page_faults_with_exact_va() {
         let mem = SharedMem::new(PhysMem::new(0, 4 * PAGE_SIZE));
-        let mut vm = TranslatingVaMem::new(&mem, |page_va| {
-            if page_va == 0 {
-                Some((0, true))
-            } else {
-                None
-            }
-        });
+        let mut vm = TranslatingVaMem::new(
+            &mem,
+            |page_va| {
+                if page_va == 0 {
+                    Some((0, true))
+                } else {
+                    None
+                }
+            },
+        );
         let err = vm.read_bytes(PAGE_SIZE as u64 - 2, 8).unwrap_err();
-        assert_eq!(err, PAGE_SIZE as u64, "fault at first byte of unmapped page");
+        assert_eq!(
+            err, PAGE_SIZE as u64,
+            "fault at first byte of unmapped page"
+        );
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::timing::{self, JobCost};
 use crate::vm::exec::{execute_blob, ExecError};
 use gr_soc::pmc::PmcDomain;
 
+/// Completion events on the device timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    ResetDone,
-    FlushDone,
-    JobDone,
+    Reset,
+    Flush,
+    Job,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -185,7 +186,12 @@ impl MaliGpu {
         if !self.mmu_enabled() {
             return None;
         }
-        pgtable::translate(&self.mem, self.sku.pte_format, self.transtab_active, page_va)
+        pgtable::translate(
+            &self.mem,
+            self.sku.pte_format,
+            self.transtab_active,
+            page_va,
+        )
     }
 
     fn fetch_binary(&self, va: u64, len: usize) -> Result<Vec<u8>, ChainFault> {
@@ -238,7 +244,7 @@ impl MaliGpu {
     fn chain_duration(&mut self, headers: &[JobHeader], affinity: u32) -> gr_sim::SimDuration {
         let total = headers
             .iter()
-            .fold(JobCost::default(), |acc, h| acc.add(h.cost));
+            .fold(JobCost::default(), |acc, h| acc + h.cost);
         let active = (affinity & self.present_mask() & !self.offline_mask).count_ones();
         let mhz = self.pmc.clock_mhz(PmcDomain::GpuCore);
         let d = timing::job_duration(total, headers.len() as u32, active, mhz, self.sku);
@@ -308,7 +314,7 @@ impl MaliGpu {
         self.running = Some(RunningJob { head_va, affinity });
         self.js_status = r::JS_STATUS_ACTIVE;
         let done_at = self.clock.now() + dur;
-        self.events.schedule(done_at, Event::JobDone);
+        self.events.schedule(done_at, Event::Job);
     }
 
     fn execute_chain_now(&mut self, head_va: u64) -> Result<(), ChainFault> {
@@ -323,8 +329,7 @@ impl MaliGpu {
                 if !enabled {
                     return None;
                 }
-                pgtable::translate(&mem, fmt, transtab, page_va)
-                    .map(|(pa, fl)| (pa, fl.write))
+                pgtable::translate(&mem, fmt, transtab, page_va).map(|(pa, fl)| (pa, fl.write))
             });
             match execute_blob(&blob, &mut vamem) {
                 Ok(()) => {}
@@ -401,7 +406,7 @@ impl MaliGpu {
         self.resetting = true;
         self.update_irq_lines();
         self.events
-            .schedule(self.clock.now() + timing::SOFT_RESET_DELAY, Event::ResetDone);
+            .schedule(self.clock.now() + timing::SOFT_RESET_DELAY, Event::Reset);
     }
 }
 
@@ -473,7 +478,7 @@ impl GpuDev for MaliGpu {
                 r::GPU_CMD_CLEAN_CACHES | r::GPU_CMD_CLEAN_INV_CACHES => {
                     let d = timing::flush_delay(&mut self.rng);
                     self.flushing += 1;
-                    self.events.schedule(self.clock.now() + d, Event::FlushDone);
+                    self.events.schedule(self.clock.now() + d, Event::Flush);
                 }
                 _ => {}
             },
@@ -500,13 +505,11 @@ impl GpuDev for MaliGpu {
                     (self.transtab_staged & 0xFFFF_FFFF) | (u64::from(val) << 32);
             }
             r::AS0_TRANSCFG => self.transcfg_staged = val,
-            r::AS0_COMMAND => {
-                if val == r::AS_CMD_UPDATE {
-                    self.transtab_active = self.transtab_staged;
-                    self.transcfg_active = self.transcfg_staged;
-                }
-                // AS_CMD_FLUSH: TLB shootdown, instantaneous in the model.
+            r::AS0_COMMAND if val == r::AS_CMD_UPDATE => {
+                self.transtab_active = self.transtab_staged;
+                self.transcfg_active = self.transcfg_staged;
             }
+            // AS_CMD_FLUSH: TLB shootdown, instantaneous in the model.
             r::JOB_IRQ_CLEAR => {
                 self.job_rawstat &= !val;
                 self.update_irq_lines();
@@ -537,20 +540,18 @@ impl GpuDev for MaliGpu {
                 self.js_head_next = (self.js_head_next & 0xFFFF_FFFF) | (u64::from(val) << 32)
             }
             r::JS0_AFFINITY_NEXT => self.js_affinity_next = val,
-            r::JS0_COMMAND_NEXT => {
-                if val == r::JS_CMD_START {
-                    if self.running.is_none() {
-                        self.js_head = self.js_head_next;
-                        self.js_affinity = self.js_affinity_next;
-                        self.start_job(self.js_head_next, self.js_affinity_next);
-                    } else if self.queued.is_none() {
-                        self.queued = Some(QueuedJob {
-                            head_va: self.js_head_next,
-                            affinity: self.js_affinity_next,
-                        });
-                    } else {
-                        self.gpu_faultstatus = r::GPU_FAULT_BUSY;
-                    }
+            r::JS0_COMMAND_NEXT if val == r::JS_CMD_START => {
+                if self.running.is_none() {
+                    self.js_head = self.js_head_next;
+                    self.js_affinity = self.js_affinity_next;
+                    self.start_job(self.js_head_next, self.js_affinity_next);
+                } else if self.queued.is_none() {
+                    self.queued = Some(QueuedJob {
+                        head_va: self.js_head_next,
+                        affinity: self.js_affinity_next,
+                    });
+                } else {
+                    self.gpu_faultstatus = r::GPU_FAULT_BUSY;
                 }
             }
             _ => {}
@@ -561,17 +562,17 @@ impl GpuDev for MaliGpu {
         let now = self.clock.now();
         while let Some(ev) = self.events.pop_due(now) {
             match ev {
-                Event::ResetDone => {
+                Event::Reset => {
                     self.resetting = false;
                     self.gpu_rawstat |= r::GPU_IRQ_RESET_COMPLETED;
                     self.update_irq_lines();
                 }
-                Event::FlushDone => {
+                Event::Flush => {
                     self.flushing = self.flushing.saturating_sub(1);
                     self.gpu_rawstat |= r::GPU_IRQ_CLEAN_CACHES_COMPLETED;
                     self.update_irq_lines();
                 }
-                Event::JobDone => self.complete_job(),
+                Event::Job => self.complete_job(),
             }
         }
     }
@@ -671,7 +672,10 @@ mod tests {
         g.write32(r::GPU_COMMAND, r::GPU_CMD_SOFT_RESET);
         rig.clock.advance(timing::SOFT_RESET_DELAY);
         g.tick();
-        assert_eq!(g.read32(r::GPU_IRQ_RAWSTAT) & r::GPU_IRQ_RESET_COMPLETED, r::GPU_IRQ_RESET_COMPLETED);
+        assert_eq!(
+            g.read32(r::GPU_IRQ_RAWSTAT) & r::GPU_IRQ_RESET_COMPLETED,
+            r::GPU_IRQ_RESET_COMPLETED
+        );
         g.write32(r::GPU_IRQ_CLEAR, r::GPU_IRQ_RESET_COMPLETED);
         g.write32(r::JOB_IRQ_MASK, 0xFFFF_FFFF);
         g.write32(r::MMU_IRQ_MASK, 0xFFFF_FFFF);
@@ -695,7 +699,16 @@ mod tests {
         (0..n)
             .map(|i| {
                 let pa = rig.alloc.alloc_zeroed(&rig.mem).unwrap().unwrap();
-                map_page(&rig.mem, &mut rig.alloc, fmt, rig.root, va + (i * PAGE_SIZE) as u64, pa, flags).unwrap();
+                map_page(
+                    &rig.mem,
+                    &mut rig.alloc,
+                    fmt,
+                    rig.root,
+                    va + (i * PAGE_SIZE) as u64,
+                    pa,
+                    flags,
+                )
+                .unwrap();
                 pa
             })
             .collect()
@@ -710,7 +723,9 @@ mod tests {
             let page = cur & !(PAGE_SIZE as u64 - 1);
             let (pa, _) = pgtable::translate(&rig.mem, fmt, rig.root, page).unwrap();
             let chunk = ((PAGE_SIZE as u64 - (cur - page)) as usize).min(data.len() - done);
-            rig.mem.write(pa + (cur - page), &data[done..done + chunk]).unwrap();
+            rig.mem
+                .write(pa + (cur - page), &data[done..done + chunk])
+                .unwrap();
             done += chunk;
         }
     }
@@ -779,7 +794,10 @@ mod tests {
                 n: 3,
                 act: ActKind::None,
             },
-            JobCost { flops: 3, bytes: 24 },
+            JobCost {
+                flops: 3,
+                bytes: 24,
+            },
         );
     }
 
@@ -825,7 +843,11 @@ mod tests {
         emit_job(
             &rg,
             CHAIN_VA,
-            &KernelOp::Fill { out: DATA_VA, n: 1, value: 0.0 },
+            &KernelOp::Fill {
+                out: DATA_VA,
+                n: 1,
+                value: 0.0,
+            },
             JobCost::default(),
         );
         rg.gpu.write32(r::JS0_HEAD_LO, CHAIN_VA as u32);
@@ -863,8 +885,15 @@ mod tests {
                 emit_job(
                     &rg,
                     CHAIN_VA,
-                    &KernelOp::Fill { out: DATA_VA, n: 4, value: 1.0 },
-                    JobCost { flops: 500_000_000, bytes: 0 },
+                    &KernelOp::Fill {
+                        out: DATA_VA,
+                        n: 4,
+                        value: 1.0,
+                    },
+                    JobCost {
+                        flops: 500_000_000,
+                        bytes: 0,
+                    },
                 );
                 let start = rg.clock.now();
                 rg.gpu.write32(r::JS0_HEAD_LO, CHAIN_VA as u32);
@@ -873,11 +902,20 @@ mod tests {
                 let t = rg.gpu.next_event_time().unwrap();
                 rg.clock.advance_to(t);
                 rg.gpu.tick();
-                assert_eq!(rg.gpu.read32(r::JS0_STATUS), r::JS_STATUS_COMPLETED, "aff={aff:#x}");
+                assert_eq!(
+                    rg.gpu.read32(r::JS0_STATUS),
+                    r::JS_STATUS_COMPLETED,
+                    "aff={aff:#x}"
+                );
                 (rg.clock.now() - start).as_nanos()
             })
             .collect();
-        assert!(durations[0] > 4 * durations[1], "1-core {} vs 8-core {}", durations[0], durations[1]);
+        assert!(
+            durations[0] > 4 * durations[1],
+            "1-core {} vs 8-core {}",
+            durations[0],
+            durations[1]
+        );
     }
 
     #[test]
@@ -891,7 +929,7 @@ mod tests {
         g.write32(r::JS0_COMMAND_NEXT, r::JS_CMD_START); // starts immediately
         g.write32(r::JS0_HEAD_NEXT_LO, CHAIN_VA as u32);
         g.write32(r::JS0_COMMAND_NEXT, r::JS_CMD_START); // queues
-        // Drain both completions.
+                                                         // Drain both completions.
         for _ in 0..2 {
             let t = rg.gpu.next_event_time().expect("pending job");
             rg.clock.advance_to(t);
@@ -923,7 +961,10 @@ mod tests {
         let t = rg.gpu.next_event_time().unwrap();
         rg.clock.advance_to(t);
         rg.gpu.tick();
-        assert_eq!(rg.gpu.read32(r::JOB_IRQ_RAWSTAT) & r::JOB_IRQ_FAIL0, r::JOB_IRQ_FAIL0);
+        assert_eq!(
+            rg.gpu.read32(r::JOB_IRQ_RAWSTAT) & r::JOB_IRQ_FAIL0,
+            r::JOB_IRQ_FAIL0
+        );
         assert_eq!(rg.gpu.read32(r::JS0_STATUS), r::JS_STATUS_FAULT);
         // Soft reset clears the injected fault; the job then succeeds.
         bring_up(&mut rg);
@@ -944,7 +985,10 @@ mod tests {
         let t = rg.gpu.next_event_time().unwrap();
         rg.clock.advance_to(t);
         rg.gpu.tick();
-        assert_eq!(rg.gpu.read32(r::JOB_IRQ_RAWSTAT) & r::JOB_IRQ_FAIL0, r::JOB_IRQ_FAIL0);
+        assert_eq!(
+            rg.gpu.read32(r::JOB_IRQ_RAWSTAT) & r::JOB_IRQ_FAIL0,
+            r::JOB_IRQ_FAIL0
+        );
         assert_eq!(rg.gpu.read32(r::AS0_FAULTSTATUS), r::AS_FAULT_TRANSLATION);
         let fault_va = u64::from(rg.gpu.read32(r::AS0_FAULTADDR_LO));
         assert_eq!(fault_va & !(PAGE_SIZE as u64 - 1), DATA_VA);
@@ -955,7 +999,9 @@ mod tests {
         // unmap leaves the slot invalid already (corruption cleared valid);
         // write a fresh PTE directly.
         let pte_pa = pgtable::pte_address(&rg.mem, rg.root, DATA_VA).unwrap();
-        rg.mem.write_u64(pte_pa, pgtable::encode_pte(fmt, pa, PteFlags::rw_cpu())).unwrap();
+        rg.mem
+            .write_u64(pte_pa, pgtable::encode_pte(fmt, pa, PteFlags::rw_cpu()))
+            .unwrap();
         let mut bytes = Vec::new();
         for v in [1.0f32, 2.0, 3.0, 10.0, 20.0, 30.0] {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -974,8 +1020,15 @@ mod tests {
         emit_job(
             &rg,
             CHAIN_VA,
-            &KernelOp::Fill { out: DATA_VA, n: 1, value: 9.0 },
-            JobCost { flops: 1_000_000_000, bytes: 0 },
+            &KernelOp::Fill {
+                out: DATA_VA,
+                n: 1,
+                value: 9.0,
+            },
+            JobCost {
+                flops: 1_000_000_000,
+                bytes: 0,
+            },
         );
         rg.gpu.write32(r::JS0_HEAD_LO, CHAIN_VA as u32);
         rg.gpu.write32(r::JS0_AFFINITY, 0xFF);
@@ -1010,7 +1063,10 @@ mod tests {
         let mut rg = rig(&MALI_G71);
         bring_up(&mut rg);
         rg.gpu.write32(r::GPU_COMMAND, r::GPU_CMD_CLEAN_CACHES);
-        assert_eq!(rg.gpu.read32(r::GPU_IRQ_RAWSTAT) & r::GPU_IRQ_CLEAN_CACHES_COMPLETED, 0);
+        assert_eq!(
+            rg.gpu.read32(r::GPU_IRQ_RAWSTAT) & r::GPU_IRQ_CLEAN_CACHES_COMPLETED,
+            0
+        );
         assert!(rg.gpu.busy());
         let t = rg.gpu.next_event_time().unwrap();
         rg.clock.advance_to(t);

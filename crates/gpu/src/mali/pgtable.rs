@@ -193,9 +193,7 @@ fn check_va(va: u64) -> Result<(), PgtableError> {
 ///
 /// Returns [`PgtableError::OutOfFrames`] when allocation fails.
 pub fn alloc_root(mem: &SharedMem, alloc: &mut FrameAllocator) -> Result<u64, PgtableError> {
-    alloc
-        .alloc_zeroed(mem)?
-        .ok_or(PgtableError::OutOfFrames)
+    alloc.alloc_zeroed(mem)?.ok_or(PgtableError::OutOfFrames)
 }
 
 /// Maps one 4 KiB page `va → pa` with `flags` under `root_pa`, allocating
@@ -220,9 +218,7 @@ pub fn map_page(
     let l2_pa = if l1 & 1 != 0 {
         l1 & PA_MASK
     } else {
-        let l2 = alloc
-            .alloc_zeroed(mem)?
-            .ok_or(PgtableError::OutOfFrames)?;
+        let l2 = alloc.alloc_zeroed(mem)?.ok_or(PgtableError::OutOfFrames)?;
         mem.write_u64(l1_entry_pa, (l2 & PA_MASK) | 1)?;
         l2
     };
@@ -267,7 +263,12 @@ pub fn unmap_page(
 
 /// Translates `va` (any alignment) to `(pa, flags)` by walking the tables.
 /// Returns `None` for unmapped or invalid addresses.
-pub fn translate(mem: &SharedMem, fmt: PteFormat, root_pa: u64, va: u64) -> Option<(u64, PteFlags)> {
+pub fn translate(
+    mem: &SharedMem,
+    fmt: PteFormat,
+    root_pa: u64,
+    va: u64,
+) -> Option<(u64, PteFlags)> {
     if va >= VA_SPACE_SIZE {
         return None;
     }
@@ -277,7 +278,9 @@ pub fn translate(mem: &SharedMem, fmt: PteFormat, root_pa: u64, va: u64) -> Opti
         return None;
     }
     let l2_pa = l1 & PA_MASK;
-    let pte = mem.read_u64(l2_pa + ((va >> L2_SHIFT) & IDX_MASK) * 8).ok()?;
+    let pte = mem
+        .read_u64(l2_pa + ((va >> L2_SHIFT) & IDX_MASK) * 8)
+        .ok()?;
     let (page_pa, flags) = decode_pte(fmt, pte)?;
     Some((page_pa + (va & (PAGE_SIZE as u64 - 1)), flags))
 }
@@ -288,7 +291,9 @@ pub fn pte_address(mem: &SharedMem, root_pa: u64, va: u64) -> Option<u64> {
     if va >= VA_SPACE_SIZE {
         return None;
     }
-    let l1 = mem.read_u64(root_pa + ((va >> L1_SHIFT) & IDX_MASK) * 8).ok()?;
+    let l1 = mem
+        .read_u64(root_pa + ((va >> L1_SHIFT) & IDX_MASK) * 8)
+        .ok()?;
     if l1 & 1 == 0 {
         return None;
     }
@@ -335,7 +340,16 @@ mod tests {
         let root = alloc_root(&mem, &mut alloc).unwrap();
         let data_pa = alloc.alloc().unwrap();
         let va = 0x0040_0000u64;
-        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, data_pa, PteFlags::rw_cpu()).unwrap();
+        map_page(
+            &mem,
+            &mut alloc,
+            PteFormat::MaliStandard,
+            root,
+            va,
+            data_pa,
+            PteFlags::rw_cpu(),
+        )
+        .unwrap();
         let (pa, flags) = translate(&mem, PteFormat::MaliStandard, root, va + 0x123).unwrap();
         assert_eq!(pa, data_pa + 0x123);
         assert!(flags.valid && flags.write && !flags.exec && flags.cpu_mapped);
@@ -344,7 +358,10 @@ mod tests {
             Some(data_pa)
         );
         assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_none());
-        assert_eq!(unmap_page(&mem, PteFormat::MaliStandard, root, va).unwrap(), None);
+        assert_eq!(
+            unmap_page(&mem, PteFormat::MaliStandard, root, va).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -352,9 +369,26 @@ mod tests {
         let (mem, mut alloc) = mk();
         let root = alloc_root(&mem, &mut alloc).unwrap();
         let pa = alloc.alloc().unwrap();
-        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0, pa, PteFlags::rw_cpu()).unwrap();
+        map_page(
+            &mem,
+            &mut alloc,
+            PteFormat::MaliStandard,
+            root,
+            0,
+            pa,
+            PteFlags::rw_cpu(),
+        )
+        .unwrap();
         assert_eq!(
-            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0, pa, PteFlags::rw_cpu()),
+            map_page(
+                &mem,
+                &mut alloc,
+                PteFormat::MaliStandard,
+                root,
+                0,
+                pa,
+                PteFlags::rw_cpu()
+            ),
             Err(PgtableError::AlreadyMapped(0))
         );
     }
@@ -364,13 +398,32 @@ mod tests {
         let (mem, mut alloc) = mk();
         let root = alloc_root(&mem, &mut alloc).unwrap();
         assert!(matches!(
-            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, VA_SPACE_SIZE, 0, PteFlags::rw_cpu()),
+            map_page(
+                &mem,
+                &mut alloc,
+                PteFormat::MaliStandard,
+                root,
+                VA_SPACE_SIZE,
+                0,
+                PteFlags::rw_cpu()
+            ),
             Err(PgtableError::BadVa(_))
         ));
-        assert!(matches!(
-            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, 0x10, 0, PteFlags::rw_cpu()),
-            Err(PgtableError::BadVa(_)),
-        ), "unaligned va");
+        assert!(
+            matches!(
+                map_page(
+                    &mem,
+                    &mut alloc,
+                    PteFormat::MaliStandard,
+                    root,
+                    0x10,
+                    0,
+                    PteFlags::rw_cpu()
+                ),
+                Err(PgtableError::BadVa(_)),
+            ),
+            "unaligned va"
+        );
         assert!(translate(&mem, PteFormat::MaliStandard, root, VA_SPACE_SIZE + 5).is_none());
     }
 
@@ -390,7 +443,10 @@ mod tests {
         // Round-trip via decode.
         assert_eq!(decode_flags(PteFormat::MaliLpae, lpae_bits), f);
         // Conversion is the §6.4 patch.
-        assert_eq!(convert_flag_bits(PteFormat::MaliLpae, PteFormat::MaliStandard, lpae_bits), std_bits);
+        assert_eq!(
+            convert_flag_bits(PteFormat::MaliLpae, PteFormat::MaliStandard, lpae_bits),
+            std_bits
+        );
     }
 
     #[test]
@@ -414,7 +470,16 @@ mod tests {
         for i in [5u64, 1, 3] {
             let pa = alloc.alloc().unwrap();
             pas.push((i * PAGE_SIZE as u64, pa));
-            map_page(&mem, &mut alloc, PteFormat::MaliLpae, root, i * PAGE_SIZE as u64, pa, PteFlags::internal()).unwrap();
+            map_page(
+                &mem,
+                &mut alloc,
+                PteFormat::MaliLpae,
+                root,
+                i * PAGE_SIZE as u64,
+                pa,
+                PteFlags::internal(),
+            )
+            .unwrap();
         }
         let mut seen = Vec::new();
         walk(&mem, PteFormat::MaliLpae, root, |va, pa, fl| {
@@ -431,7 +496,16 @@ mod tests {
         let root = alloc_root(&mem, &mut alloc).unwrap();
         let pa = alloc.alloc().unwrap();
         let va = 0x0020_0000u64;
-        map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, pa, PteFlags::rw_cpu()).unwrap();
+        map_page(
+            &mem,
+            &mut alloc,
+            PteFormat::MaliStandard,
+            root,
+            va,
+            pa,
+            PteFlags::rw_cpu(),
+        )
+        .unwrap();
         let pte_pa = pte_address(&mem, root, va).unwrap();
         mem.write_u64(pte_pa, 0xFFFF_FFFF_FFFF_FFFE).unwrap(); // valid bit clear
         assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_none());
@@ -445,7 +519,16 @@ mod tests {
         // Two VAs in different L1 slots.
         for va in [0u64, 1 << L1_SHIFT] {
             let pa = alloc.alloc().unwrap();
-            map_page(&mem, &mut alloc, PteFormat::MaliStandard, root, va, pa, PteFlags::rw_cpu()).unwrap();
+            map_page(
+                &mem,
+                &mut alloc,
+                PteFormat::MaliStandard,
+                root,
+                va,
+                pa,
+                PteFlags::rw_cpu(),
+            )
+            .unwrap();
             assert!(translate(&mem, PteFormat::MaliStandard, root, va).is_some());
         }
     }

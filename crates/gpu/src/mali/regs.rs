@@ -165,13 +165,40 @@ pub mod irq_lines {
 /// All architecturally-defined register offsets (the replayer's verifier
 /// whitelist: a recording touching anything else is rejected).
 pub const KNOWN_REGS: [u32; 35] = [
-    GPU_ID, GPU_STATUS, GPU_IRQ_RAWSTAT, GPU_IRQ_CLEAR, GPU_IRQ_MASK, GPU_IRQ_STATUS,
-    GPU_COMMAND, GPU_FAULTSTATUS, SHADER_PRESENT, SHADER_READY, SHADER_PWRON, SHADER_PWROFF,
-    MMU_IRQ_RAWSTAT, MMU_IRQ_CLEAR, MMU_IRQ_MASK, MMU_IRQ_STATUS,
-    AS0_TRANSTAB_LO, AS0_TRANSTAB_HI, AS0_TRANSCFG, AS0_COMMAND, AS0_STATUS,
-    AS0_FAULTSTATUS, AS0_FAULTADDR_LO, AS0_FAULTADDR_HI,
-    JOB_IRQ_RAWSTAT, JOB_IRQ_CLEAR, JOB_IRQ_MASK, JOB_IRQ_STATUS,
-    JS0_HEAD_LO, JS0_HEAD_HI, JS0_AFFINITY, JS0_CONFIG, JS0_COMMAND, JS0_STATUS,
+    GPU_ID,
+    GPU_STATUS,
+    GPU_IRQ_RAWSTAT,
+    GPU_IRQ_CLEAR,
+    GPU_IRQ_MASK,
+    GPU_IRQ_STATUS,
+    GPU_COMMAND,
+    GPU_FAULTSTATUS,
+    SHADER_PRESENT,
+    SHADER_READY,
+    SHADER_PWRON,
+    SHADER_PWROFF,
+    MMU_IRQ_RAWSTAT,
+    MMU_IRQ_CLEAR,
+    MMU_IRQ_MASK,
+    MMU_IRQ_STATUS,
+    AS0_TRANSTAB_LO,
+    AS0_TRANSTAB_HI,
+    AS0_TRANSCFG,
+    AS0_COMMAND,
+    AS0_STATUS,
+    AS0_FAULTSTATUS,
+    AS0_FAULTADDR_LO,
+    AS0_FAULTADDR_HI,
+    JOB_IRQ_RAWSTAT,
+    JOB_IRQ_CLEAR,
+    JOB_IRQ_MASK,
+    JOB_IRQ_STATUS,
+    JS0_HEAD_LO,
+    JS0_HEAD_HI,
+    JS0_AFFINITY,
+    JS0_CONFIG,
+    JS0_COMMAND,
+    JS0_STATUS,
     JS0_HEAD_NEXT_LO,
 ];
 

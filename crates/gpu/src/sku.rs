@@ -150,6 +150,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately pins static SKU config
     fn lpae_family_layout_matches_paper() {
         // G31/G52 share the LPAE-style layout, G71 the standard one: this is
         // the asymmetry the §6.4 patch bridges.

@@ -20,9 +20,11 @@ pub struct JobCost {
     pub bytes: u64,
 }
 
-impl JobCost {
+impl std::ops::Add for JobCost {
+    type Output = JobCost;
+
     /// Sums two costs (chains accumulate sub-job work).
-    pub fn add(self, other: JobCost) -> JobCost {
+    fn add(self, other: JobCost) -> JobCost {
         JobCost {
             flops: self.flops + other.flops,
             bytes: self.bytes + other.bytes,
@@ -159,8 +161,17 @@ mod tests {
     #[test]
     fn cost_addition() {
         let a = JobCost { flops: 1, bytes: 2 };
-        let b = JobCost { flops: 10, bytes: 20 };
-        assert_eq!(a.add(b), JobCost { flops: 11, bytes: 22 });
+        let b = JobCost {
+            flops: 10,
+            bytes: 20,
+        };
+        assert_eq!(
+            a + b,
+            JobCost {
+                flops: 11,
+                bytes: 22
+            }
+        );
     }
 
     #[test]

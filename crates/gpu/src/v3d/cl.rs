@@ -148,7 +148,8 @@ pub fn parse_list(bytes: &[u8]) -> Result<Vec<ClPacket>, ClError> {
                     return Err(ClError::Truncated);
                 }
                 let va = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len checked"));
-                let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len checked"));
+                let len =
+                    u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len checked"));
                 pos += 12;
                 out.push(ClPacket::Branch { va, len });
             }
@@ -157,9 +158,12 @@ pub fn parse_list(bytes: &[u8]) -> Result<Vec<ClPacket>, ClError> {
                     return Err(ClError::Truncated);
                 }
                 let va = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len checked"));
-                let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len checked"));
-                let flops = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().expect("len checked"));
-                let b = u64::from_le_bytes(bytes[pos + 20..pos + 28].try_into().expect("len checked"));
+                let len =
+                    u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len checked"));
+                let flops =
+                    u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().expect("len checked"));
+                let b =
+                    u64::from_le_bytes(bytes[pos + 20..pos + 28].try_into().expect("len checked"));
                 pos += 28;
                 out.push(ClPacket::RunShader {
                     va,
@@ -180,7 +184,14 @@ mod tests {
     fn writer_parser_roundtrip() {
         let mut w = ClWriter::new();
         w.nop()
-            .run_shader(0x2000, 36, JobCost { flops: 10, bytes: 20 })
+            .run_shader(
+                0x2000,
+                36,
+                JobCost {
+                    flops: 10,
+                    bytes: 20,
+                },
+            )
             .branch(0x9000, 100);
         let bytes = w.finish();
         let pkts = parse_list(&bytes).unwrap();
@@ -191,9 +202,15 @@ mod tests {
                 ClPacket::RunShader {
                     va: 0x2000,
                     len: 36,
-                    cost: JobCost { flops: 10, bytes: 20 }
+                    cost: JobCost {
+                        flops: 10,
+                        bytes: 20
+                    }
                 },
-                ClPacket::Branch { va: 0x9000, len: 100 },
+                ClPacket::Branch {
+                    va: 0x9000,
+                    len: 100
+                },
                 ClPacket::Halt,
             ]
         );

@@ -18,11 +18,12 @@ use crate::v3d::pgtable;
 use crate::v3d::regs::{self as r, irq_lines};
 use crate::vm::exec::{execute_blob, ExecError};
 
+/// Completion events on the device timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    ResetDone,
-    FlushDone,
-    ListDone,
+    Reset,
+    Flush,
+    List,
 }
 
 enum ListFault {
@@ -217,7 +218,7 @@ impl V3dGpu {
         }
         let total = shaders
             .iter()
-            .fold(JobCost::default(), |acc, (_, _, c)| acc.add(*c));
+            .fold(JobCost::default(), |acc, (_, _, c)| acc + *c);
         let mhz = self.pmc.clock_mhz(PmcDomain::GpuCore);
         let d = timing::job_duration(total, shaders.len() as u32, self.sku.cores, mhz, self.sku);
         if d == SimDuration::MAX {
@@ -227,7 +228,7 @@ impl V3dGpu {
         let d = timing::jittered(d, &mut self.rng) + timing::IRQ_LATENCY;
         self.running = true;
         self.err_stat = r::ERR_NONE;
-        self.events.schedule(self.clock.now() + d, Event::ListDone);
+        self.events.schedule(self.clock.now() + d, Event::List);
     }
 
     fn complete_list(&mut self) {
@@ -309,7 +310,7 @@ impl V3dGpu {
         self.offline_fault_pending = false;
         self.update_irq_line();
         self.events
-            .schedule(self.clock.now() + timing::SOFT_RESET_DELAY, Event::ResetDone);
+            .schedule(self.clock.now() + timing::SOFT_RESET_DELAY, Event::Reset);
     }
 }
 
@@ -372,22 +373,18 @@ impl GpuDev for V3dGpu {
                 self.mmu_pt_base = (self.mmu_pt_base & 0xFFFF_FFFF) | (u64::from(val) << 32)
             }
             r::MMU_CTRL => self.mmu_ctrl = val,
-            r::CTL_RESET => {
-                if val & 1 != 0 {
-                    if self.power_stable() {
-                        self.soft_reset();
-                    } else {
-                        self.err_stat = r::ERR_POWER;
-                    }
+            r::CTL_RESET if val & 1 != 0 => {
+                if self.power_stable() {
+                    self.soft_reset();
+                } else {
+                    self.err_stat = r::ERR_POWER;
                 }
             }
-            r::CACHE_CLEAN => {
-                if val & 1 != 0 && !self.flushing {
-                    self.flushing = true;
-                    let d = timing::flush_delay(&mut self.rng);
-                    self.flush_done_at = self.clock.now() + d;
-                    self.events.schedule(self.flush_done_at, Event::FlushDone);
-                }
+            r::CACHE_CLEAN if val & 1 != 0 && !self.flushing => {
+                self.flushing = true;
+                let d = timing::flush_delay(&mut self.rng);
+                self.flush_done_at = self.clock.now() + d;
+                self.events.schedule(self.flush_done_at, Event::Flush);
             }
             _ => {}
         }
@@ -397,9 +394,9 @@ impl GpuDev for V3dGpu {
         let now = self.clock.now();
         while let Some(ev) = self.events.pop_due(now) {
             match ev {
-                Event::ResetDone => self.resetting = false,
-                Event::FlushDone => self.flushing = false,
-                Event::ListDone => self.complete_list(),
+                Event::Reset => self.resetting = false,
+                Event::Flush => self.flushing = false,
+                Event::List => self.complete_list(),
             }
         }
     }
@@ -503,7 +500,14 @@ mod tests {
     fn map(rig: &mut Rig, va: u64, n: usize) {
         for i in 0..n {
             let pa = rig.alloc.alloc_zeroed(&rig.mem).unwrap().unwrap();
-            map_page(&rig.mem, rig.table, va + (i * PAGE_SIZE) as u64, pa, V3dPteFlags::rw()).unwrap();
+            map_page(
+                &rig.mem,
+                rig.table,
+                va + (i * PAGE_SIZE) as u64,
+                pa,
+                V3dPteFlags::rw(),
+            )
+            .unwrap();
         }
     }
 
@@ -514,7 +518,9 @@ mod tests {
             let page = cur & !(PAGE_SIZE as u64 - 1);
             let (pa, _) = pgtable::translate(&rig.mem, rig.table, page).unwrap();
             let chunk = ((PAGE_SIZE as u64 - (cur - page)) as usize).min(data.len() - done);
-            rig.mem.write(pa + (cur - page), &data[done..done + chunk]).unwrap();
+            rig.mem
+                .write(pa + (cur - page), &data[done..done + chunk])
+                .unwrap();
             done += chunk;
         }
     }
@@ -536,7 +542,8 @@ mod tests {
         rig.gpu.write32(r::CT0CA_LO, CL_VA as u32);
         rig.gpu.write32(r::CT0CA_HI, 0);
         rig.gpu.write32(r::CT0EA_HI, 0);
-        rig.gpu.write32(r::CT0EA_LO, (CL_VA as usize + cl_len) as u32);
+        rig.gpu
+            .write32(r::CT0EA_LO, (CL_VA as usize + cl_len) as u32);
         if let Some(t) = rig.gpu.next_event_time() {
             rig.clock.advance_to(t);
             rig.gpu.tick();
@@ -555,10 +562,23 @@ mod tests {
             b.extend_from_slice(&v.to_le_bytes());
         }
         poke(&rg, DATA_VA, &b);
-        let blob = KernelOp::Scale { a: DATA_VA, out: DATA_VA + 256, n: 3, alpha: 3.0 }.encode();
+        let blob = KernelOp::Scale {
+            a: DATA_VA,
+            out: DATA_VA + 256,
+            n: 3,
+            alpha: 3.0,
+        }
+        .encode();
         poke(&rg, SH_VA, &blob);
         let mut w = ClWriter::new();
-        w.run_shader(SH_VA, blob.len() as u32, JobCost { flops: 3, bytes: 24 });
+        w.run_shader(
+            SH_VA,
+            blob.len() as u32,
+            JobCost {
+                flops: 3,
+                bytes: 24,
+            },
+        );
         let cl = w.finish();
         poke(&rg, CL_VA, &cl);
         let sts = submit_and_wait(&mut rg, cl.len());
@@ -576,7 +596,12 @@ mod tests {
         map(&mut rg, CL_VA, 2);
         map(&mut rg, SH_VA, 1);
         map(&mut rg, DATA_VA, 1);
-        let blob = KernelOp::Fill { out: DATA_VA, n: 2, value: 7.0 }.encode();
+        let blob = KernelOp::Fill {
+            out: DATA_VA,
+            n: 2,
+            value: 7.0,
+        }
+        .encode();
         poke(&rg, SH_VA, &blob);
         let mut sub = ClWriter::new();
         sub.run_shader(SH_VA, blob.len() as u32, JobCost::default());
@@ -598,16 +623,30 @@ mod tests {
         map(&mut rg, CL_VA, 1);
         map(&mut rg, SH_VA, 1);
         map(&mut rg, DATA_VA, 1);
-        let blob = KernelOp::Fill { out: DATA_VA, n: 1, value: 1.0 }.encode();
+        let blob = KernelOp::Fill {
+            out: DATA_VA,
+            n: 1,
+            value: 1.0,
+        }
+        .encode();
         poke(&rg, SH_VA, &blob);
         let mut w = ClWriter::new();
-        w.run_shader(SH_VA, blob.len() as u32, JobCost { flops: 1_000_000, bytes: 0 });
+        w.run_shader(
+            SH_VA,
+            blob.len() as u32,
+            JobCost {
+                flops: 1_000_000,
+                bytes: 0,
+            },
+        );
         let cl = w.finish();
         poke(&rg, CL_VA, &cl);
         rg.gpu.write32(r::CT0CA_LO, CL_VA as u32);
-        rg.gpu.write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
+        rg.gpu
+            .write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
         assert_eq!(rg.gpu.read32(r::CT0CS) & r::CS_BUSY, r::CS_BUSY);
-        rg.gpu.write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
+        rg.gpu
+            .write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
         assert_eq!(rg.gpu.read32(r::ERR_STAT), r::ERR_BUSY);
     }
 
@@ -640,23 +679,41 @@ mod tests {
         map(&mut rg, CL_VA, 1);
         map(&mut rg, SH_VA, 1);
         map(&mut rg, DATA_VA, 1);
-        let blob = KernelOp::Fill { out: DATA_VA, n: 1, value: 5.0 }.encode();
+        let blob = KernelOp::Fill {
+            out: DATA_VA,
+            n: 1,
+            value: 5.0,
+        }
+        .encode();
         poke(&rg, SH_VA, &blob);
         let mut w = ClWriter::new();
-        w.run_shader(SH_VA, blob.len() as u32, JobCost { flops: 100, bytes: 0 });
+        w.run_shader(
+            SH_VA,
+            blob.len() as u32,
+            JobCost {
+                flops: 100,
+                bytes: 0,
+            },
+        );
         let cl = w.finish();
         poke(&rg, CL_VA, &cl);
         rg.gpu.write32(r::CT0CA_LO, CL_VA as u32);
-        rg.gpu.write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
+        rg.gpu
+            .write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
         rg.gpu.inject_fault(FaultKind::CorruptPte { va: DATA_VA });
         let t = rg.gpu.next_event_time().unwrap();
         rg.clock.advance_to(t);
         rg.gpu.tick();
-        assert_eq!(rg.gpu.read32(r::INT_STS) & r::INT_MMU_FAULT, r::INT_MMU_FAULT);
+        assert_eq!(
+            rg.gpu.read32(r::INT_STS) & r::INT_MMU_FAULT,
+            r::INT_MMU_FAULT
+        );
         // Rebuild the PTE and retry after reset.
         let pa = rg.alloc.alloc_zeroed(&rg.mem).unwrap().unwrap();
         let pte_pa = pgtable::pte_address(rg.table, DATA_VA).unwrap();
-        rg.mem.write_u32(pte_pa, pgtable::encode_pte(pa, V3dPteFlags::rw())).unwrap();
+        rg.mem
+            .write_u32(pte_pa, pgtable::encode_pte(pa, V3dPteFlags::rw()))
+            .unwrap();
         rg.gpu.write32(r::CTL_RESET, 1);
         rg.clock.advance(timing::SOFT_RESET_DELAY);
         rg.gpu.tick();

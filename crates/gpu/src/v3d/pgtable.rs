@@ -213,7 +213,11 @@ mod tests {
         assert_eq!(alloc.used(), PT_PAGES);
         // Entire table zeroed.
         assert_eq!(mem.read_u32(base).unwrap(), 0);
-        assert_eq!(mem.read_u32(base + (PT_PAGES * PAGE_SIZE) as u64 - 4).unwrap(), 0);
+        assert_eq!(
+            mem.read_u32(base + (PT_PAGES * PAGE_SIZE) as u64 - 4)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]

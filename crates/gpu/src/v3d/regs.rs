@@ -71,8 +71,22 @@ pub mod irq_lines {
 
 /// All architecturally-defined register offsets (verifier whitelist).
 pub const KNOWN_REGS: [u32; 16] = [
-    IDENT, INT_STS, INT_CLR, INT_MSK, CT0CA_LO, CT0CA_HI, CT0EA_LO, CT0EA_HI, CT0CS,
-    MMU_PT_BASE_LO, MMU_PT_BASE_HI, MMU_CTRL, MMU_ADDR, ERR_STAT, CTL_RESET, CACHE_CLEAN,
+    IDENT,
+    INT_STS,
+    INT_CLR,
+    INT_MSK,
+    CT0CA_LO,
+    CT0CA_HI,
+    CT0EA_LO,
+    CT0EA_HI,
+    CT0CS,
+    MMU_PT_BASE_LO,
+    MMU_PT_BASE_HI,
+    MMU_CTRL,
+    MMU_ADDR,
+    ERR_STAT,
+    CTL_RESET,
+    CACHE_CLEAN,
 ];
 
 /// `true` when `off` names an architecturally-defined v3d register.

@@ -463,7 +463,9 @@ struct Writer {
 
 impl Writer {
     fn new(tag: u32) -> Self {
-        let mut w = Writer { buf: Vec::with_capacity(64) };
+        let mut w = Writer {
+            buf: Vec::with_capacity(64),
+        };
         w.u32(tag);
         w
     }
@@ -585,7 +587,16 @@ impl KernelOp {
                 w.u32(*n);
                 w
             }
-            FullyConnected { x, w: wt, bias, out, m, k, n, act } => {
+            FullyConnected {
+                x,
+                w: wt,
+                bias,
+                out,
+                m,
+                k,
+                n,
+                act,
+            } => {
                 let mut w = Writer::new(OP_FC);
                 w.u64(*x);
                 w.u64(*wt);
@@ -597,7 +608,22 @@ impl KernelOp {
                 w.u32(*act as u32);
                 w
             }
-            Conv2d { x, w: wt, bias, out, cin, h, wd, cout, kh, kw, stride, pad, groups, act } => {
+            Conv2d {
+                x,
+                w: wt,
+                bias,
+                out,
+                cin,
+                h,
+                wd,
+                cout,
+                kh,
+                kw,
+                stride,
+                pad,
+                groups,
+                act,
+            } => {
                 let mut w = Writer::new(OP_CONV2D);
                 w.u64(*x);
                 w.u64(*wt);
@@ -609,7 +635,16 @@ impl KernelOp {
                 w.u32(*act as u32);
                 w
             }
-            Pool2d { x, out, c, h, wd, win, stride, kind } => {
+            Pool2d {
+                x,
+                out,
+                c,
+                h,
+                wd,
+                win,
+                stride,
+                kind,
+            } => {
                 let mut w = Writer::new(OP_POOL2D);
                 w.u64(*x);
                 w.u64(*out);
@@ -653,7 +688,14 @@ impl KernelOp {
                 w.u32(*wd);
                 w
             }
-            BatchNormInf { x, out, scale, shift, c, hw } => {
+            BatchNormInf {
+                x,
+                out,
+                scale,
+                shift,
+                c,
+                hw,
+            } => {
                 let mut w = Writer::new(OP_BNORM);
                 w.u64(*x);
                 w.u64(*out);
@@ -663,7 +705,17 @@ impl KernelOp {
                 w.u32(*hw);
                 w
             }
-            Im2Col { x, out, cin, h, wd, kh, kw, stride, pad } => {
+            Im2Col {
+                x,
+                out,
+                cin,
+                h,
+                wd,
+                kh,
+                kw,
+                stride,
+                pad,
+            } => {
                 let mut w = Writer::new(OP_IM2COL);
                 w.u64(*x);
                 w.u64(*out);
@@ -672,7 +724,13 @@ impl KernelOp {
                 }
                 w
             }
-            SoftmaxXentGrad { probs, labels, dx, rows, cols } => {
+            SoftmaxXentGrad {
+                probs,
+                labels,
+                dx,
+                rows,
+                cols,
+            } => {
                 let mut w = Writer::new(OP_SMXENTG);
                 w.u64(*probs);
                 w.u64(*labels);
@@ -691,7 +749,14 @@ impl KernelOp {
                 w.u32(*n);
                 w
             }
-            MatMulGradX { dy, w: wt, dx, m, k, n } => {
+            MatMulGradX {
+                dy,
+                w: wt,
+                dx,
+                m,
+                k,
+                n,
+            } => {
                 let mut w = Writer::new(OP_MMGRADX);
                 w.u64(*dy);
                 w.u64(*wt);
@@ -725,7 +790,19 @@ impl KernelOp {
                 w.f32(*lr);
                 w
             }
-            Conv2dGradW { x, dy, dw, cin, h, wd, cout, kh, kw, stride, pad } => {
+            Conv2dGradW {
+                x,
+                dy,
+                dw,
+                cin,
+                h,
+                wd,
+                cout,
+                kh,
+                kw,
+                stride,
+                pad,
+            } => {
                 let mut w = Writer::new(OP_CONVGRADW);
                 w.u64(*x);
                 w.u64(*dy);
@@ -735,7 +812,19 @@ impl KernelOp {
                 }
                 w
             }
-            Conv2dGradX { dy, w: wt, dx, cin, h, wd, cout, kh, kw, stride, pad } => {
+            Conv2dGradX {
+                dy,
+                w: wt,
+                dx,
+                cin,
+                h,
+                wd,
+                cout,
+                kh,
+                kw,
+                stride,
+                pad,
+            } => {
                 let mut w = Writer::new(OP_CONVGRADX);
                 w.u64(*dy);
                 w.u64(*wt);
@@ -745,7 +834,17 @@ impl KernelOp {
                 }
                 w
             }
-            PoolGrad { x, dy, dx, c, h, wd, win, stride, kind } => {
+            PoolGrad {
+                x,
+                dy,
+                dx,
+                c,
+                h,
+                wd,
+                win,
+                stride,
+                kind,
+            } => {
                 let mut w = Writer::new(OP_POOLGRAD);
                 w.u64(*x);
                 w.u64(*dy);
@@ -1006,32 +1105,196 @@ mod tests {
     fn samples() -> Vec<KernelOp> {
         use KernelOp::*;
         vec![
-            Fill { out: 0x1000, n: 16, value: 1.5 },
-            CopyBytes { src: 0x1000, dst: 0x2000, len: 64 },
-            EltwiseAdd { a: 1, b: 2, out: 3, n: 4, act: ActKind::Relu },
-            Scale { a: 1, out: 2, n: 8, alpha: -0.5 },
-            MatMul { a: 1, b: 2, out: 3, m: 4, k: 5, n: 6 },
-            FullyConnected { x: 1, w: 2, bias: 0, out: 4, m: 1, k: 8, n: 10, act: ActKind::None },
-            Conv2d {
-                x: 1, w: 2, bias: 3, out: 4, cin: 3, h: 8, wd: 8, cout: 16,
-                kh: 3, kw: 3, stride: 1, pad: 1, groups: 1, act: ActKind::Relu6,
+            Fill {
+                out: 0x1000,
+                n: 16,
+                value: 1.5,
             },
-            Pool2d { x: 1, out: 2, c: 4, h: 8, wd: 8, win: 2, stride: 2, kind: PoolKind::Max },
-            Activation { x: 1, out: 2, n: 7, act: ActKind::LeakyRelu },
-            Softmax { x: 1, out: 2, rows: 1, cols: 10 },
-            Concat2 { a: 1, na: 5, b: 2, nb: 6, out: 3 },
-            Upsample2x { x: 1, out: 2, c: 2, h: 4, wd: 4 },
-            BatchNormInf { x: 1, out: 2, scale: 3, shift: 4, c: 8, hw: 16 },
-            Im2Col { x: 1, out: 2, cin: 3, h: 8, wd: 8, kh: 3, kw: 3, stride: 1, pad: 1 },
-            SoftmaxXentGrad { probs: 1, labels: 2, dx: 3, rows: 4, cols: 10 },
-            MatMulGradW { x: 1, dy: 2, dw: 3, m: 4, k: 5, n: 6 },
-            MatMulGradX { dy: 1, w: 2, dx: 3, m: 4, k: 5, n: 6 },
-            ReluGrad { x: 1, dy: 2, dx: 3, n: 9 },
-            BiasGradReduce { dy: 1, db: 2, m: 3, n: 4 },
-            SgdStep { w: 1, g: 2, n: 10, lr: 0.01 },
-            Conv2dGradW { x: 1, dy: 2, dw: 3, cin: 1, h: 8, wd: 8, cout: 4, kh: 3, kw: 3, stride: 1, pad: 1 },
-            Conv2dGradX { dy: 1, w: 2, dx: 3, cin: 1, h: 8, wd: 8, cout: 4, kh: 3, kw: 3, stride: 1, pad: 1 },
-            PoolGrad { x: 1, dy: 2, dx: 3, c: 2, h: 4, wd: 4, win: 2, stride: 2, kind: PoolKind::Avg },
+            CopyBytes {
+                src: 0x1000,
+                dst: 0x2000,
+                len: 64,
+            },
+            EltwiseAdd {
+                a: 1,
+                b: 2,
+                out: 3,
+                n: 4,
+                act: ActKind::Relu,
+            },
+            Scale {
+                a: 1,
+                out: 2,
+                n: 8,
+                alpha: -0.5,
+            },
+            MatMul {
+                a: 1,
+                b: 2,
+                out: 3,
+                m: 4,
+                k: 5,
+                n: 6,
+            },
+            FullyConnected {
+                x: 1,
+                w: 2,
+                bias: 0,
+                out: 4,
+                m: 1,
+                k: 8,
+                n: 10,
+                act: ActKind::None,
+            },
+            Conv2d {
+                x: 1,
+                w: 2,
+                bias: 3,
+                out: 4,
+                cin: 3,
+                h: 8,
+                wd: 8,
+                cout: 16,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+                act: ActKind::Relu6,
+            },
+            Pool2d {
+                x: 1,
+                out: 2,
+                c: 4,
+                h: 8,
+                wd: 8,
+                win: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
+            Activation {
+                x: 1,
+                out: 2,
+                n: 7,
+                act: ActKind::LeakyRelu,
+            },
+            Softmax {
+                x: 1,
+                out: 2,
+                rows: 1,
+                cols: 10,
+            },
+            Concat2 {
+                a: 1,
+                na: 5,
+                b: 2,
+                nb: 6,
+                out: 3,
+            },
+            Upsample2x {
+                x: 1,
+                out: 2,
+                c: 2,
+                h: 4,
+                wd: 4,
+            },
+            BatchNormInf {
+                x: 1,
+                out: 2,
+                scale: 3,
+                shift: 4,
+                c: 8,
+                hw: 16,
+            },
+            Im2Col {
+                x: 1,
+                out: 2,
+                cin: 3,
+                h: 8,
+                wd: 8,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            },
+            SoftmaxXentGrad {
+                probs: 1,
+                labels: 2,
+                dx: 3,
+                rows: 4,
+                cols: 10,
+            },
+            MatMulGradW {
+                x: 1,
+                dy: 2,
+                dw: 3,
+                m: 4,
+                k: 5,
+                n: 6,
+            },
+            MatMulGradX {
+                dy: 1,
+                w: 2,
+                dx: 3,
+                m: 4,
+                k: 5,
+                n: 6,
+            },
+            ReluGrad {
+                x: 1,
+                dy: 2,
+                dx: 3,
+                n: 9,
+            },
+            BiasGradReduce {
+                dy: 1,
+                db: 2,
+                m: 3,
+                n: 4,
+            },
+            SgdStep {
+                w: 1,
+                g: 2,
+                n: 10,
+                lr: 0.01,
+            },
+            Conv2dGradW {
+                x: 1,
+                dy: 2,
+                dw: 3,
+                cin: 1,
+                h: 8,
+                wd: 8,
+                cout: 4,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Conv2dGradX {
+                dy: 1,
+                w: 2,
+                dx: 3,
+                cin: 1,
+                h: 8,
+                wd: 8,
+                cout: 4,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            },
+            PoolGrad {
+                x: 1,
+                dy: 2,
+                dx: 3,
+                c: 2,
+                h: 4,
+                wd: 4,
+                win: 2,
+                stride: 2,
+                kind: PoolKind::Avg,
+            },
         ]
     }
 
@@ -1064,10 +1327,19 @@ mod tests {
     #[test]
     fn bad_opcode_and_enum_detected() {
         let blob = 0xFFFF_FFFFu32.to_le_bytes().to_vec();
-        assert_eq!(KernelOp::decode(&blob), Err(DecodeError::BadOpcode(0xFFFF_FFFF)));
+        assert_eq!(
+            KernelOp::decode(&blob),
+            Err(DecodeError::BadOpcode(0xFFFF_FFFF))
+        );
 
         // Activation with an invalid act tag.
-        let mut blob = KernelOp::Activation { x: 1, out: 2, n: 3, act: ActKind::Relu }.encode();
+        let mut blob = KernelOp::Activation {
+            x: 1,
+            out: 2,
+            n: 3,
+            act: ActKind::Relu,
+        }
+        .encode();
         let len = blob.len();
         blob[len - 4..].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(KernelOp::decode(&blob), Err(DecodeError::BadEnum(99)));
@@ -1075,7 +1347,14 @@ mod tests {
 
     #[test]
     fn enum_tags_roundtrip() {
-        for k in [ActKind::None, ActKind::Relu, ActKind::Relu6, ActKind::LeakyRelu, ActKind::Sigmoid, ActKind::Tanh] {
+        for k in [
+            ActKind::None,
+            ActKind::Relu,
+            ActKind::Relu6,
+            ActKind::LeakyRelu,
+            ActKind::Sigmoid,
+            ActKind::Tanh,
+        ] {
             assert_eq!(ActKind::from_u32(k as u32), Some(k));
         }
         assert_eq!(ActKind::from_u32(42), None);

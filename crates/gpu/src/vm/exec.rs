@@ -79,7 +79,11 @@ fn write_f32s<M: VaMem + ?Sized>(mem: &mut M, va: u64, vals: &[f32]) -> Result<(
         .map_err(|va| ExecError::MemFault { va })
 }
 
-fn opt_bias<M: VaMem + ?Sized>(mem: &mut M, va: u64, n: usize) -> Result<Option<Vec<f32>>, ExecError> {
+fn opt_bias<M: VaMem + ?Sized>(
+    mem: &mut M,
+    va: u64,
+    n: usize,
+) -> Result<Option<Vec<f32>>, ExecError> {
     if va == 0 {
         Ok(None)
     } else {
@@ -103,7 +107,8 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let b = mem
                 .read_bytes(src, len as usize)
                 .map_err(|va| ExecError::MemFault { va })?;
-            mem.write_bytes(dst, &b).map_err(|va| ExecError::MemFault { va })
+            mem.write_bytes(dst, &b)
+                .map_err(|va| ExecError::MemFault { va })
         }
         EltwiseAdd { a, b, out, n, act } => {
             let av = read_f32s(mem, a, n as usize)?;
@@ -120,20 +125,59 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let sv: Vec<f32> = av.iter().map(|&x| x * alpha).collect();
             write_f32s(mem, out, &sv)
         }
-        MatMul { a, b, out, m, k: kk, n } => {
+        MatMul {
+            a,
+            b,
+            out,
+            m,
+            k: kk,
+            n,
+        } => {
             let av = read_f32s(mem, a, (m * kk) as usize)?;
             let bv = read_f32s(mem, b, (kk * n) as usize)?;
             let o = k::matmul(&av, &bv, m as usize, kk as usize, n as usize);
             write_f32s(mem, out, &o)
         }
-        FullyConnected { x, w, bias, out, m, k: kk, n, act } => {
+        FullyConnected {
+            x,
+            w,
+            bias,
+            out,
+            m,
+            k: kk,
+            n,
+            act,
+        } => {
             let xv = read_f32s(mem, x, (m * kk) as usize)?;
             let wv = read_f32s(mem, w, (kk * n) as usize)?;
             let bv = opt_bias(mem, bias, n as usize)?;
-            let o = k::fully_connected(&xv, &wv, bv.as_deref(), m as usize, kk as usize, n as usize, act);
+            let o = k::fully_connected(
+                &xv,
+                &wv,
+                bv.as_deref(),
+                m as usize,
+                kk as usize,
+                n as usize,
+                act,
+            );
             write_f32s(mem, out, &o)
         }
-        Conv2d { x, w, bias, out, cin, h, wd, cout, kh, kw, stride, pad, groups, act } => {
+        Conv2d {
+            x,
+            w,
+            bias,
+            out,
+            cin,
+            h,
+            wd,
+            cout,
+            kh,
+            kw,
+            stride,
+            pad,
+            groups,
+            act,
+        } => {
             if groups == 0 || cin % groups != 0 || cout % groups != 0 || stride == 0 {
                 return Err(ExecError::BadParams(format!(
                     "conv2d groups={groups} cin={cin} cout={cout} stride={stride}"
@@ -143,19 +187,47 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let wv = read_f32s(mem, w, (cout * (cin / groups) * kh * kw) as usize)?;
             let bv = opt_bias(mem, bias, cout as usize)?;
             let o = k::conv2d(
-                &xv, &wv, bv.as_deref(),
-                cin as usize, h as usize, wd as usize, cout as usize,
-                kh as usize, kw as usize, stride as usize, pad as usize,
-                groups as usize, act,
+                &xv,
+                &wv,
+                bv.as_deref(),
+                cin as usize,
+                h as usize,
+                wd as usize,
+                cout as usize,
+                kh as usize,
+                kw as usize,
+                stride as usize,
+                pad as usize,
+                groups as usize,
+                act,
             );
             write_f32s(mem, out, &o)
         }
-        Pool2d { x, out, c, h, wd, win, stride, kind } => {
+        Pool2d {
+            x,
+            out,
+            c,
+            h,
+            wd,
+            win,
+            stride,
+            kind,
+        } => {
             if stride == 0 || win == 0 || win > h || win > wd {
-                return Err(ExecError::BadParams(format!("pool win={win} stride={stride} h={h} w={wd}")));
+                return Err(ExecError::BadParams(format!(
+                    "pool win={win} stride={stride} h={h} w={wd}"
+                )));
             }
             let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
-            let o = k::pool2d(&xv, c as usize, h as usize, wd as usize, win as usize, stride as usize, kind);
+            let o = k::pool2d(
+                &xv,
+                c as usize,
+                h as usize,
+                wd as usize,
+                win as usize,
+                stride as usize,
+                kind,
+            );
             write_f32s(mem, out, &o)
         }
         Activation { x, out, n, act } => {
@@ -179,22 +251,54 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let o = k::upsample2x(&xv, c as usize, h as usize, wd as usize);
             write_f32s(mem, out, &o)
         }
-        BatchNormInf { x, out, scale, shift, c, hw } => {
+        BatchNormInf {
+            x,
+            out,
+            scale,
+            shift,
+            c,
+            hw,
+        } => {
             let xv = read_f32s(mem, x, (c * hw) as usize)?;
             let sv = read_f32s(mem, scale, c as usize)?;
             let hv = read_f32s(mem, shift, c as usize)?;
             let o = k::batchnorm_inf(&xv, &sv, &hv, c as usize, hw as usize);
             write_f32s(mem, out, &o)
         }
-        Im2Col { x, out, cin, h, wd, kh, kw, stride, pad } => {
+        Im2Col {
+            x,
+            out,
+            cin,
+            h,
+            wd,
+            kh,
+            kw,
+            stride,
+            pad,
+        } => {
             if stride == 0 {
                 return Err(ExecError::BadParams("im2col stride=0".into()));
             }
             let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
-            let o = k::im2col(&xv, cin as usize, h as usize, wd as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            let o = k::im2col(
+                &xv,
+                cin as usize,
+                h as usize,
+                wd as usize,
+                kh as usize,
+                kw as usize,
+                stride as usize,
+                pad as usize,
+            );
             write_f32s(mem, out, &o)
         }
-        SoftmaxXentGrad { probs, labels, dx, rows, cols } => {
+        SoftmaxXentGrad {
+            probs,
+            labels,
+            dx,
+            rows,
+            cols,
+        } => {
             let pv = read_f32s(mem, probs, (rows * cols) as usize)?;
             let lv = read_f32s(mem, labels, rows as usize)?;
             for &l in &lv {
@@ -205,13 +309,27 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let o = k::softmax_xent_grad(&pv, &lv, rows as usize, cols as usize);
             write_f32s(mem, dx, &o)
         }
-        MatMulGradW { x, dy, dw, m, k: kk, n } => {
+        MatMulGradW {
+            x,
+            dy,
+            dw,
+            m,
+            k: kk,
+            n,
+        } => {
             let xv = read_f32s(mem, x, (m * kk) as usize)?;
             let dv = read_f32s(mem, dy, (m * n) as usize)?;
             let o = k::matmul_grad_w(&xv, &dv, m as usize, kk as usize, n as usize);
             write_f32s(mem, dw, &o)
         }
-        MatMulGradX { dy, w, dx, m, k: kk, n } => {
+        MatMulGradX {
+            dy,
+            w,
+            dx,
+            m,
+            k: kk,
+            n,
+        } => {
             let dv = read_f32s(mem, dy, (m * n) as usize)?;
             let wv = read_f32s(mem, w, (kk * n) as usize)?;
             let o = k::matmul_grad_x(&dv, &wv, m as usize, kk as usize, n as usize);
@@ -234,7 +352,19 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             k::sgd_step(&mut wv, &gv, lr);
             write_f32s(mem, w, &wv)
         }
-        Conv2dGradW { x, dy, dw, cin, h, wd, cout, kh, kw, stride, pad } => {
+        Conv2dGradW {
+            x,
+            dy,
+            dw,
+            cin,
+            h,
+            wd,
+            cout,
+            kh,
+            kw,
+            stride,
+            pad,
+        } => {
             if stride == 0 {
                 return Err(ExecError::BadParams("conv_gw stride=0".into()));
             }
@@ -242,10 +372,33 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let wo = k::out_dim(wd, kw, stride, pad) as usize;
             let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
             let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
-            let o = k::conv2d_grad_w(&xv, &dv, cin as usize, h as usize, wd as usize, cout as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            let o = k::conv2d_grad_w(
+                &xv,
+                &dv,
+                cin as usize,
+                h as usize,
+                wd as usize,
+                cout as usize,
+                kh as usize,
+                kw as usize,
+                stride as usize,
+                pad as usize,
+            );
             write_f32s(mem, dw, &o)
         }
-        Conv2dGradX { dy, w, dx, cin, h, wd, cout, kh, kw, stride, pad } => {
+        Conv2dGradX {
+            dy,
+            w,
+            dx,
+            cin,
+            h,
+            wd,
+            cout,
+            kh,
+            kw,
+            stride,
+            pad,
+        } => {
             if stride == 0 {
                 return Err(ExecError::BadParams("conv_gx stride=0".into()));
             }
@@ -253,10 +406,31 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let wo = k::out_dim(wd, kw, stride, pad) as usize;
             let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
             let wv = read_f32s(mem, w, (cout * cin * kh * kw) as usize)?;
-            let o = k::conv2d_grad_x(&dv, &wv, cin as usize, h as usize, wd as usize, cout as usize, kh as usize, kw as usize, stride as usize, pad as usize);
+            let o = k::conv2d_grad_x(
+                &dv,
+                &wv,
+                cin as usize,
+                h as usize,
+                wd as usize,
+                cout as usize,
+                kh as usize,
+                kw as usize,
+                stride as usize,
+                pad as usize,
+            );
             write_f32s(mem, dx, &o)
         }
-        PoolGrad { x, dy, dx, c, h, wd, win, stride, kind } => {
+        PoolGrad {
+            x,
+            dy,
+            dx,
+            c,
+            h,
+            wd,
+            win,
+            stride,
+            kind,
+        } => {
             if stride == 0 || win == 0 {
                 return Err(ExecError::BadParams("pool_g win/stride".into()));
             }
@@ -264,7 +438,16 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             let wo = k::out_dim(wd, win, stride, 0) as usize;
             let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
             let dv = read_f32s(mem, dy, c as usize * ho * wo)?;
-            let o = k::pool_grad(&xv, &dv, c as usize, h as usize, wd as usize, win as usize, stride as usize, kind);
+            let o = k::pool_grad(
+                &xv,
+                &dv,
+                c as usize,
+                h as usize,
+                wd as usize,
+                win as usize,
+                stride as usize,
+                kind,
+            );
             write_f32s(mem, dx, &o)
         }
     }
@@ -322,7 +505,10 @@ mod tests {
             self.check(va, data.len())?;
             for (i, &b) in data.iter().enumerate() {
                 let a = va + i as u64;
-                let p = self.pages.entry(a / PG).or_insert_with(|| vec![0; PG as usize]);
+                let p = self
+                    .pages
+                    .entry(a / PG)
+                    .or_insert_with(|| vec![0; PG as usize]);
                 p[(a % PG) as usize] = b;
             }
             Ok(())
@@ -350,7 +536,13 @@ mod tests {
         let mut mem = TestMem::default();
         put_f32s(&mut mem, 0x1000, &[1., 2., 3.]);
         put_f32s(&mut mem, 0x2000, &[10., 20., 30.]);
-        let op = KernelOp::EltwiseAdd { a: 0x1000, b: 0x2000, out: 0x3000, n: 3, act: ActKind::None };
+        let op = KernelOp::EltwiseAdd {
+            a: 0x1000,
+            b: 0x2000,
+            out: 0x3000,
+            n: 3,
+            act: ActKind::None,
+        };
         execute(&op, &mut mem).unwrap();
         assert_eq!(get_f32s(&mut mem, 0x3000, 3), vec![11., 22., 33.]);
     }
@@ -360,38 +552,82 @@ mod tests {
         let mut mem = TestMem::default();
         let va = PG - 8; // straddles the first page boundary
         put_f32s(&mut mem, va, &[5., 6., 7., 8.]);
-        let op = KernelOp::Scale { a: va, out: va, n: 4, alpha: 2.0 };
+        let op = KernelOp::Scale {
+            a: va,
+            out: va,
+            n: 4,
+            alpha: 2.0,
+        };
         execute(&op, &mut mem).unwrap();
         assert_eq!(get_f32s(&mut mem, va, 4), vec![10., 12., 14., 16.]);
     }
 
     #[test]
     fn mem_fault_propagates() {
-        let mut mem = TestMem::default();
-        mem.fault_at = Some(0x2004);
-        let op = KernelOp::Fill { out: 0x2000, n: 4, value: 1.0 };
-        assert_eq!(execute(&op, &mut mem), Err(ExecError::MemFault { va: 0x2004 }));
+        let mut mem = TestMem {
+            fault_at: Some(0x2004),
+            ..TestMem::default()
+        };
+        let op = KernelOp::Fill {
+            out: 0x2000,
+            n: 4,
+            value: 1.0,
+        };
+        assert_eq!(
+            execute(&op, &mut mem),
+            Err(ExecError::MemFault { va: 0x2004 })
+        );
     }
 
     #[test]
     fn bad_params_rejected() {
         let mut mem = TestMem::default();
         let op = KernelOp::Conv2d {
-            x: 0, w: 0, bias: 0, out: 0, cin: 3, h: 4, wd: 4, cout: 4,
-            kh: 1, kw: 1, stride: 1, pad: 0, groups: 2, act: ActKind::None,
+            x: 0,
+            w: 0,
+            bias: 0,
+            out: 0,
+            cin: 3,
+            h: 4,
+            wd: 4,
+            cout: 4,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+            groups: 2,
+            act: ActKind::None,
         };
-        assert!(matches!(execute(&op, &mut mem), Err(ExecError::BadParams(_))));
+        assert!(matches!(
+            execute(&op, &mut mem),
+            Err(ExecError::BadParams(_))
+        ));
         // An out-of-range label is rejected before any write happens.
         put_f32s(&mut mem, 0, &[9.0]);
-        let op2 = KernelOp::SoftmaxXentGrad { probs: 0x100, labels: 0, dx: 0x200, rows: 1, cols: 2 };
-        assert!(matches!(execute(&op2, &mut mem), Err(ExecError::BadParams(_))));
+        let op2 = KernelOp::SoftmaxXentGrad {
+            probs: 0x100,
+            labels: 0,
+            dx: 0x200,
+            rows: 1,
+            cols: 2,
+        };
+        assert!(matches!(
+            execute(&op2, &mut mem),
+            Err(ExecError::BadParams(_))
+        ));
     }
 
     #[test]
     fn blob_roundtrip_execution() {
         let mut mem = TestMem::default();
         put_f32s(&mut mem, 0x100, &[-3., 4.]);
-        let blob = KernelOp::Activation { x: 0x100, out: 0x200, n: 2, act: ActKind::Relu }.encode();
+        let blob = KernelOp::Activation {
+            x: 0x100,
+            out: 0x200,
+            n: 2,
+            act: ActKind::Relu,
+        }
+        .encode();
         execute_blob(&blob, &mut mem).unwrap();
         assert_eq!(get_f32s(&mut mem, 0x200, 2), vec![0., 4.]);
         assert!(matches!(
@@ -406,7 +642,12 @@ mod tests {
         put_f32s(&mut mem, 0x100, &[1.0, 1.0]);
         put_f32s(&mut mem, 0x200, &[0.5, -0.5]);
         execute(
-            &KernelOp::SgdStep { w: 0x100, g: 0x200, n: 2, lr: 1.0 },
+            &KernelOp::SgdStep {
+                w: 0x100,
+                g: 0x200,
+                n: 2,
+                lr: 1.0,
+            },
             &mut mem,
         )
         .unwrap();

@@ -12,6 +12,9 @@ pub fn apply_act(act: ActKind, v: f32) -> f32 {
     match act {
         ActKind::None => v,
         ActKind::Relu => v.max(0.0),
+        // Not `clamp`: max-then-min squashes NaN to 0.0, and replayed
+        // buffers may carry arbitrary user bytes (including NaN patterns).
+        #[allow(clippy::manual_clamp)]
         ActKind::Relu6 => v.max(0.0).min(6.0),
         ActKind::LeakyRelu => {
             if v > 0.0 {
@@ -105,7 +108,10 @@ pub fn conv2d(
     groups: usize,
     act: ActKind,
 ) -> Vec<f32> {
-    assert!(groups > 0 && cin % groups == 0 && cout % groups == 0, "bad groups");
+    assert!(
+        groups > 0 && cin % groups == 0 && cout % groups == 0,
+        "bad groups"
+    );
     let cing = cin / groups;
     let coutg = cout / groups;
     assert_eq!(x.len(), cin * h * wd, "input size");
@@ -474,7 +480,8 @@ pub fn pool_grad(
                         let mut arg = (0, 0);
                         for ky in 0..win {
                             for kx in 0..win {
-                                let v = x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
+                                let v =
+                                    x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
                                 if v > best {
                                     best = v;
                                     arg = (oy * stride + ky, ox * stride + kx);
@@ -487,7 +494,8 @@ pub fn pool_grad(
                         let share = dv / (win * win) as f32;
                         for ky in 0..win {
                             for kx in 0..win {
-                                dx[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)] += share;
+                                dx[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)] +=
+                                    share;
                             }
                         }
                     }
@@ -529,7 +537,15 @@ mod tests {
 
     #[test]
     fn fc_bias_and_act() {
-        let out = fully_connected(&[1., -1.], &[1., 0., 0., 1.], Some(&[0.5, -10.0]), 1, 2, 2, ActKind::Relu);
+        let out = fully_connected(
+            &[1., -1.],
+            &[1., 0., 0., 1.],
+            Some(&[0.5, -10.0]),
+            1,
+            2,
+            2,
+            ActKind::Relu,
+        );
         assert_eq!(out, vec![1.5, 0.0]);
     }
 
@@ -549,7 +565,15 @@ mod tests {
             &[1., 2., 3., 4.],
             &[1., 1., 1., 1.],
             None,
-            1, 2, 2, 1, 2, 2, 2, 1, 1,
+            1,
+            2,
+            2,
+            1,
+            2,
+            2,
+            2,
+            1,
+            1,
             ActKind::None,
         );
         assert_eq!(out, vec![1., 2., 3., 4.]);
@@ -562,7 +586,15 @@ mod tests {
             &[1., 2., 3., 4., 5., 6., 7., 8.],
             &[10., 100.],
             None,
-            2, 2, 2, 2, 1, 1, 1, 0, 2,
+            2,
+            2,
+            2,
+            2,
+            1,
+            1,
+            1,
+            0,
+            2,
             ActKind::None,
         );
         assert_eq!(out, vec![10., 20., 30., 40., 500., 600., 700., 800.]);
@@ -573,7 +605,9 @@ mod tests {
         // The ACL lowering identity the Mali path relies on:
         // conv(x, w) == im2col(x) · reshape(w).
         let x: Vec<f32> = (0..3 * 5 * 5).map(|v| (v as f32 * 0.37).sin()).collect();
-        let w: Vec<f32> = (0..4 * 3 * 3 * 3).map(|v| (v as f32 * 0.11).cos()).collect();
+        let w: Vec<f32> = (0..4 * 3 * 3 * 3)
+            .map(|v| (v as f32 * 0.11).cos())
+            .collect();
         let direct = conv2d(&x, &w, None, 3, 5, 5, 4, 3, 3, 1, 1, 1, ActKind::None);
 
         let cols = im2col(&x, 3, 5, 5, 3, 3, 1, 1);
@@ -626,7 +660,10 @@ mod tests {
     #[test]
     fn upsample_and_batchnorm() {
         let up = upsample2x(&[1., 2., 3., 4.], 1, 2, 2);
-        assert_eq!(up, vec![1., 1., 2., 2., 1., 1., 2., 2., 3., 3., 4., 4., 3., 3., 4., 4.]);
+        assert_eq!(
+            up,
+            vec![1., 1., 2., 2., 1., 1., 2., 2., 3., 3., 4., 4., 3., 3., 4., 4.]
+        );
         let bn = batchnorm_inf(&[1., 2., 3., 4.], &[2., 10.], &[0.5, -1.0], 2, 2);
         assert_eq!(bn, vec![2.5, 4.5, 29.0, 39.0]);
     }
@@ -672,17 +709,35 @@ mod tests {
     #[test]
     fn conv_grads_match_finite_difference() {
         let (cin, h, wd, cout, kh, kw, stride, pad) = (2, 4, 4, 2, 3, 3, 1, 1);
-        let x: Vec<f32> = (0..cin * h * wd).map(|v| ((v * 7 % 13) as f32 - 6.0) * 0.1).collect();
-        let w: Vec<f32> = (0..cout * cin * kh * kw).map(|v| ((v * 5 % 11) as f32 - 5.0) * 0.05).collect();
+        let x: Vec<f32> = (0..cin * h * wd)
+            .map(|v| ((v * 7 % 13) as f32 - 6.0) * 0.1)
+            .collect();
+        let w: Vec<f32> = (0..cout * cin * kh * kw)
+            .map(|v| ((v * 5 % 11) as f32 - 5.0) * 0.05)
+            .collect();
         let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
         let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
         let dy = vec![1.0f32; cout * ho * wo];
         let dw = conv2d_grad_w(&x, &dy, cin, h, wd, cout, kh, kw, stride, pad);
         let dx = conv2d_grad_x(&dy, &w, cin, h, wd, cout, kh, kw, stride, pad);
         let loss = |x: &[f32], w: &[f32]| -> f32 {
-            conv2d(x, w, None, cin, h, wd, cout, kh, kw, stride, pad, 1, ActKind::None)
-                .iter()
-                .sum()
+            conv2d(
+                x,
+                w,
+                None,
+                cin,
+                h,
+                wd,
+                cout,
+                kh,
+                kw,
+                stride,
+                pad,
+                1,
+                ActKind::None,
+            )
+            .iter()
+            .sum()
         };
         let eps = 1e-2f32;
         for i in (0..dw.len()).step_by(7) {

@@ -104,7 +104,12 @@ fn f32_bytes(vals: &[f32]) -> Vec<u8> {
 }
 
 impl<'m> Lowerer<'m> {
-    fn alloc(&mut self, elems: u64, kind: BufferKind, full_bytes: u64) -> Result<Buffer, DriverError> {
+    fn alloc(
+        &mut self,
+        elems: u64,
+        kind: BufferKind,
+        full_bytes: u64,
+    ) -> Result<Buffer, DriverError> {
         self.modeled_mem += full_bytes;
         self.rt.alloc_buffer((elems * 4) as usize, kind)
     }
@@ -271,12 +276,19 @@ impl<'m> Lowerer<'m> {
         s: Shapes,
     ) -> Result<(Vec<KernelLaunch>, Buffer, Shapes), DriverError> {
         match *layer {
-            LayerSpec::Conv { cout, k, stride, pad, act } => {
-                self.lower_conv(idx, x, s, cout, k, stride, pad, false, act)
-            }
-            LayerSpec::DepthwiseConv { k, stride, pad, act } => {
-                self.lower_conv(idx, x, s, 0, k, stride, pad, true, act)
-            }
+            LayerSpec::Conv {
+                cout,
+                k,
+                stride,
+                pad,
+                act,
+            } => self.lower_conv(idx, x, s, cout, k, stride, pad, false, act),
+            LayerSpec::DepthwiseConv {
+                k,
+                stride,
+                pad,
+                act,
+            } => self.lower_conv(idx, x, s, 0, k, stride, pad, true, act),
             LayerSpec::Pool { win, stride, kind } => {
                 // Clamp the window for heavily reduced actual shapes.
                 let win_a = win.min(s.actual.h).min(s.actual.w).max(1);
@@ -310,7 +322,14 @@ impl<'m> Lowerer<'m> {
                     kind_key: format!("pool/w{win}s{stride}"),
                     label: format!("L{idx:02}:pool"),
                 }];
-                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+                Ok((
+                    jobs,
+                    out,
+                    Shapes {
+                        actual: out_a,
+                        full: out_f,
+                    },
+                ))
             }
             LayerSpec::FullyConnected { out: out_full, act } => {
                 let in_a = s.actual.elems() as u32;
@@ -321,7 +340,11 @@ impl<'m> Lowerer<'m> {
                 self.modeled_mem += in_f * u64::from(out_full) * 4;
                 // Staging copy (flatten/reshape job), then the GEMM.
                 let stage = self.alloc(u64::from(in_a), BufferKind::Scratch, in_f * 4)?;
-                let out = self.alloc(u64::from(out_a_n), BufferKind::Internal, u64::from(out_full) * 4)?;
+                let out = self.alloc(
+                    u64::from(out_a_n),
+                    BufferKind::Internal,
+                    u64::from(out_full) * 4,
+                )?;
                 let jobs = vec![
                     KernelLaunch {
                         op: KernelOp::CopyBytes {
@@ -329,7 +352,10 @@ impl<'m> Lowerer<'m> {
                             dst: stage.va,
                             len: in_a * 4,
                         },
-                        cost: JobCost { flops: 0, bytes: 2 * in_f * 4 },
+                        cost: JobCost {
+                            flops: 0,
+                            bytes: 2 * in_f * 4,
+                        },
                         kind_key: "copy/flatten".into(),
                         label: format!("L{idx:02}:flatten"),
                     },
@@ -352,9 +378,24 @@ impl<'m> Lowerer<'m> {
                         label: format!("L{idx:02}:fc"),
                     },
                 ];
-                let dims_a = Dims { c: out_a_n, h: 1, w: 1 };
-                let dims_f = Dims { c: out_full, h: 1, w: 1 };
-                Ok((jobs, out, Shapes { actual: dims_a, full: dims_f }))
+                let dims_a = Dims {
+                    c: out_a_n,
+                    h: 1,
+                    w: 1,
+                };
+                let dims_f = Dims {
+                    c: out_full,
+                    h: 1,
+                    w: 1,
+                };
+                Ok((
+                    jobs,
+                    out,
+                    Shapes {
+                        actual: dims_a,
+                        full: dims_f,
+                    },
+                ))
             }
             LayerSpec::Softmax => {
                 let n_a = s.actual.elems() as u32;
@@ -398,8 +439,16 @@ impl<'m> Lowerer<'m> {
                 Ok((jobs, out, s))
             }
             LayerSpec::Upsample => {
-                let out_a = Dims { c: s.actual.c, h: s.actual.h * 2, w: s.actual.w * 2 };
-                let out_f = Dims { c: s.full.c, h: s.full.h * 2, w: s.full.w * 2 };
+                let out_a = Dims {
+                    c: s.actual.c,
+                    h: s.actual.h * 2,
+                    w: s.actual.w * 2,
+                };
+                let out_f = Dims {
+                    c: s.full.c,
+                    h: s.full.h * 2,
+                    w: s.full.w * 2,
+                };
                 let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
                 let jobs = vec![KernelLaunch {
                     op: KernelOp::Upsample2x {
@@ -416,7 +465,14 @@ impl<'m> Lowerer<'m> {
                     kind_key: "upsample".into(),
                     label: format!("L{idx:02}:upsample"),
                 }];
-                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+                Ok((
+                    jobs,
+                    out,
+                    Shapes {
+                        actual: out_a,
+                        full: out_f,
+                    },
+                ))
             }
             LayerSpec::Fire { squeeze, expand } => {
                 // squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat.
@@ -429,8 +485,16 @@ impl<'m> Lowerer<'m> {
                     self.lower_conv(idx, &sq_buf, sq_s, expand, 3, 1, 1, false, ActKind::Relu)?;
                 jobs.extend(j3);
                 debug_assert_eq!(e1_s.actual.h, e3_s.actual.h);
-                let out_a = Dims { c: e1_s.actual.c + e3_s.actual.c, h: e1_s.actual.h, w: e1_s.actual.w };
-                let out_f = Dims { c: e1_s.full.c + e3_s.full.c, h: e1_s.full.h, w: e1_s.full.w };
+                let out_a = Dims {
+                    c: e1_s.actual.c + e3_s.actual.c,
+                    h: e1_s.actual.h,
+                    w: e1_s.actual.w,
+                };
+                let out_f = Dims {
+                    c: e1_s.full.c + e3_s.full.c,
+                    h: e1_s.full.h,
+                    w: e1_s.full.w,
+                };
                 let out = self.alloc(out_a.elems(), BufferKind::Internal, out_f.bytes())?;
                 jobs.push(KernelLaunch {
                     op: KernelOp::Concat2 {
@@ -440,11 +504,21 @@ impl<'m> Lowerer<'m> {
                         nb: e3_s.actual.elems() as u32,
                         out: out.va,
                     },
-                    cost: JobCost { flops: 0, bytes: 2 * out_f.bytes() },
+                    cost: JobCost {
+                        flops: 0,
+                        bytes: 2 * out_f.bytes(),
+                    },
                     kind_key: "concat".into(),
                     label: format!("L{idx:02}:concat"),
                 });
-                Ok((jobs, out, Shapes { actual: out_a, full: out_f }))
+                Ok((
+                    jobs,
+                    out,
+                    Shapes {
+                        actual: out_a,
+                        full: out_f,
+                    },
+                ))
             }
             LayerSpec::Residual { cout, stride } => {
                 let (mut jobs, c1_buf, c1_s) =
@@ -462,7 +536,8 @@ impl<'m> Lowerer<'m> {
                     (*x, s)
                 };
                 debug_assert_eq!(skip_s.actual.elems(), c2_s.actual.elems());
-                let out = self.alloc(c2_s.actual.elems(), BufferKind::Internal, c2_s.full.bytes())?;
+                let out =
+                    self.alloc(c2_s.actual.elems(), BufferKind::Internal, c2_s.full.bytes())?;
                 jobs.push(KernelLaunch {
                     op: KernelOp::EltwiseAdd {
                         a: c2_buf.va,
@@ -537,7 +612,9 @@ impl GpuExecutor {
         let family = self.rt.machine().sku().family;
         let input_a = model.actual_input();
         let input_f = model.input;
-        let input_buf = self.rt.alloc_buffer((input_a.elems() * 4) as usize, BufferKind::Data)?;
+        let input_buf = self
+            .rt
+            .alloc_buffer((input_a.elems() * 4) as usize, BufferKind::Data)?;
 
         let mut low = Lowerer {
             rt: &mut self.rt,
@@ -570,7 +647,9 @@ impl GpuExecutor {
         // Final activation must be CPU-extractable: copy into a Data
         // buffer as the network's last job (frameworks stage outputs too).
         let out_elems = cur_s.actual.elems();
-        let out_buf = self.rt.alloc_buffer((out_elems * 4) as usize, BufferKind::Data)?;
+        let out_buf = self
+            .rt
+            .alloc_buffer((out_elems * 4) as usize, BufferKind::Data)?;
         let extract = KernelLaunch {
             op: KernelOp::CopyBytes {
                 src: cur_buf.va,
@@ -733,7 +812,11 @@ mod tests {
             let net = exec.compile(&model, 7).unwrap();
             assert!(net.job_count() > model.layer_count(), "{}", model.name);
             let out = exec.infer(&net, &random_input(net.input_len(), 5)).unwrap();
-            assert!(out.iter().all(|v| v.is_finite()), "{} non-finite", model.name);
+            assert!(
+                out.iter().all(|v| v.is_finite()),
+                "{} non-finite",
+                model.name
+            );
         }
         exec.release();
     }

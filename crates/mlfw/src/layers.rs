@@ -176,7 +176,11 @@ mod tests {
     fn scaling_rules() {
         let m = ModelSpec {
             name: "t",
-            input: Dims { c: 3, h: 224, w: 224 },
+            input: Dims {
+                c: 3,
+                h: 224,
+                w: 224,
+            },
             layers: vec![LayerSpec::Softmax],
             spatial_div: 8,
             channel_div: 4,
@@ -190,9 +194,20 @@ mod tests {
     #[test]
     fn fusion_classification() {
         assert!(LayerSpec::Softmax.fusable_with_previous());
-        assert!(LayerSpec::Pool { win: 2, stride: 2, kind: PoolKind::Max }.fusable_with_previous());
-        assert!(!LayerSpec::Conv { cout: 8, k: 3, stride: 1, pad: 1, act: ActKind::Relu }
-            .fusable_with_previous());
+        assert!(LayerSpec::Pool {
+            win: 2,
+            stride: 2,
+            kind: PoolKind::Max
+        }
+        .fusable_with_previous());
+        assert!(!LayerSpec::Conv {
+            cout: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            act: ActKind::Relu
+        }
+        .fusable_with_previous());
         assert_eq!(LayerSpec::Upsample.mnemonic(), "upsample");
     }
 }

@@ -9,18 +9,28 @@ use gr_gpu::vm::bytecode::{ActKind, PoolKind};
 
 use crate::layers::{Dims, LayerSpec, ModelSpec};
 
-use LayerSpec::{Conv, DepthwiseConv, Fire, FullyConnected, Norm, Pool, Residual, Softmax, Upsample};
+use LayerSpec::{
+    Conv, DepthwiseConv, Fire, FullyConnected, Norm, Pool, Residual, Softmax, Upsample,
+};
 
 const RELU: ActKind = ActKind::Relu;
 const LEAKY: ActKind = ActKind::LeakyRelu;
 const NONE: ActKind = ActKind::None;
 
 fn maxpool(win: u32, stride: u32) -> LayerSpec {
-    Pool { win, stride, kind: PoolKind::Max }
+    Pool {
+        win,
+        stride,
+        kind: PoolKind::Max,
+    }
 }
 
 fn avgpool(win: u32, stride: u32) -> LayerSpec {
-    Pool { win, stride, kind: PoolKind::Avg }
+    Pool {
+        win,
+        stride,
+        kind: PoolKind::Avg,
+    }
 }
 
 /// LeNet-style MNIST classifier — 4 layers, the paper's smallest workload.
@@ -29,7 +39,13 @@ pub fn mnist() -> ModelSpec {
         name: "MNIST",
         input: Dims { c: 1, h: 28, w: 28 },
         layers: vec![
-            Conv { cout: 8, k: 5, stride: 1, pad: 2, act: RELU },
+            Conv {
+                cout: 8,
+                k: 5,
+                stride: 1,
+                pad: 2,
+                act: RELU,
+            },
             maxpool(2, 2),
             FullyConnected { out: 10, act: NONE },
             Softmax,
@@ -43,21 +59,64 @@ pub fn mnist() -> ModelSpec {
 pub fn alexnet() -> ModelSpec {
     ModelSpec {
         name: "AlexNet",
-        input: Dims { c: 3, h: 224, w: 224 },
+        input: Dims {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
         layers: vec![
-            Conv { cout: 96, k: 11, stride: 4, pad: 2, act: RELU },
+            Conv {
+                cout: 96,
+                k: 11,
+                stride: 4,
+                pad: 2,
+                act: RELU,
+            },
             Norm,
             maxpool(3, 2),
-            Conv { cout: 256, k: 5, stride: 1, pad: 2, act: RELU },
+            Conv {
+                cout: 256,
+                k: 5,
+                stride: 1,
+                pad: 2,
+                act: RELU,
+            },
             Norm,
             maxpool(3, 2),
-            Conv { cout: 384, k: 3, stride: 1, pad: 1, act: RELU },
-            Conv { cout: 384, k: 3, stride: 1, pad: 1, act: RELU },
-            Conv { cout: 256, k: 3, stride: 1, pad: 1, act: RELU },
+            Conv {
+                cout: 384,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                act: RELU,
+            },
+            Conv {
+                cout: 384,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                act: RELU,
+            },
+            Conv {
+                cout: 256,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                act: RELU,
+            },
             maxpool(3, 2),
-            FullyConnected { out: 4096, act: RELU },
-            FullyConnected { out: 4096, act: RELU },
-            FullyConnected { out: 1000, act: NONE },
+            FullyConnected {
+                out: 4096,
+                act: RELU,
+            },
+            FullyConnected {
+                out: 4096,
+                act: RELU,
+            },
+            FullyConnected {
+                out: 1000,
+                act: NONE,
+            },
             Softmax,
         ],
         spatial_div: 8,
@@ -67,20 +126,55 @@ pub fn alexnet() -> ModelSpec {
 
 /// MobileNet(v1-style) — 28 layers of alternating depthwise/pointwise.
 pub fn mobilenet() -> ModelSpec {
-    let mut layers = vec![Conv { cout: 32, k: 3, stride: 2, pad: 1, act: ActKind::Relu6 }];
+    let mut layers = vec![Conv {
+        cout: 32,
+        k: 3,
+        stride: 2,
+        pad: 1,
+        act: ActKind::Relu6,
+    }];
     // (dw stride, pw cout) schedule of MobileNetV1.
     let sched: [(u32, u32); 13] = [
-        (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
-        (1, 512), (1, 512), (1, 512), (1, 512), (1, 512), (2, 1024), (1, 1024),
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
     ];
     for (s, cout) in sched {
-        layers.push(DepthwiseConv { k: 3, stride: s, pad: 1, act: ActKind::Relu6 });
-        layers.push(Conv { cout, k: 1, stride: 1, pad: 0, act: ActKind::Relu6 });
+        layers.push(DepthwiseConv {
+            k: 3,
+            stride: s,
+            pad: 1,
+            act: ActKind::Relu6,
+        });
+        layers.push(Conv {
+            cout,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            act: ActKind::Relu6,
+        });
     }
-    layers.push(FullyConnected { out: 1000, act: NONE });
+    layers.push(FullyConnected {
+        out: 1000,
+        act: NONE,
+    });
     ModelSpec {
         name: "MobileNet",
-        input: Dims { c: 3, h: 224, w: 224 },
+        input: Dims {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
         layers,
         spatial_div: 8,
         channel_div: 4,
@@ -90,30 +184,55 @@ pub fn mobilenet() -> ModelSpec {
 /// SqueezeNet — 26 layers dominated by fire modules.
 pub fn squeezenet() -> ModelSpec {
     let mut layers = vec![
-        Conv { cout: 96, k: 7, stride: 2, pad: 3, act: RELU },
+        Conv {
+            cout: 96,
+            k: 7,
+            stride: 2,
+            pad: 3,
+            act: RELU,
+        },
         Norm,
         maxpool(3, 2),
     ];
     for (sq, ex) in [(16, 64), (16, 64), (32, 128)] {
-        layers.push(Fire { squeeze: sq, expand: ex });
+        layers.push(Fire {
+            squeeze: sq,
+            expand: ex,
+        });
         layers.push(Norm);
     }
     layers.push(maxpool(3, 2));
     for (sq, ex) in [(32, 128), (48, 192), (48, 192), (64, 256)] {
-        layers.push(Fire { squeeze: sq, expand: ex });
+        layers.push(Fire {
+            squeeze: sq,
+            expand: ex,
+        });
         layers.push(Norm);
     }
     layers.push(maxpool(3, 2));
-    layers.push(Fire { squeeze: 64, expand: 256 });
+    layers.push(Fire {
+        squeeze: 64,
+        expand: 256,
+    });
     layers.push(Norm);
-    layers.push(Conv { cout: 1000, k: 1, stride: 1, pad: 0, act: RELU });
+    layers.push(Conv {
+        cout: 1000,
+        k: 1,
+        stride: 1,
+        pad: 0,
+        act: RELU,
+    });
     layers.push(Norm);
     layers.push(avgpool(2, 2));
     layers.push(Norm);
     layers.push(Softmax);
     ModelSpec {
         name: "SqueezeNet",
-        input: Dims { c: 3, h: 224, w: 224 },
+        input: Dims {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
         layers,
         spatial_div: 8,
         channel_div: 4,
@@ -122,17 +241,30 @@ pub fn squeezenet() -> ModelSpec {
 
 fn resnet(name: &'static str, blocks: &[(u32, u32)], tail_fc: u32) -> ModelSpec {
     let mut layers = vec![
-        Conv { cout: 64, k: 7, stride: 2, pad: 3, act: RELU },
+        Conv {
+            cout: 64,
+            k: 7,
+            stride: 2,
+            pad: 3,
+            act: RELU,
+        },
         maxpool(3, 2),
     ];
     for &(cout, stride) in blocks {
         layers.push(Residual { cout, stride });
     }
     layers.push(avgpool(2, 2));
-    layers.push(FullyConnected { out: tail_fc, act: NONE });
+    layers.push(FullyConnected {
+        out: tail_fc,
+        act: NONE,
+    });
     ModelSpec {
         name,
-        input: Dims { c: 3, h: 224, w: 224 },
+        input: Dims {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
         layers,
         spatial_div: 8,
         channel_div: 4,
@@ -145,8 +277,14 @@ pub fn resnet12() -> ModelSpec {
     resnet(
         "ResNet12",
         &[
-            (64, 1), (64, 1), (128, 2), (128, 1),
-            (256, 2), (256, 1), (512, 2), (512, 1),
+            (64, 1),
+            (64, 1),
+            (128, 2),
+            (128, 1),
+            (256, 2),
+            (256, 1),
+            (512, 2),
+            (512, 1),
         ],
         1000,
     )
@@ -158,10 +296,20 @@ pub fn resnet18() -> ModelSpec {
     resnet(
         "ResNet18",
         &[
-            (64, 1), (64, 1), (64, 1), (64, 1),
-            (128, 2), (128, 1), (128, 1),
-            (256, 2), (256, 1), (256, 1),
-            (512, 2), (512, 1), (512, 1), (512, 1),
+            (64, 1),
+            (64, 1),
+            (64, 1),
+            (64, 1),
+            (128, 2),
+            (128, 1),
+            (128, 1),
+            (256, 2),
+            (256, 1),
+            (256, 1),
+            (512, 2),
+            (512, 1),
+            (512, 1),
+            (512, 1),
         ],
         1000,
     )
@@ -173,16 +321,35 @@ pub fn vgg16() -> ModelSpec {
     let cfg: [(u32, u32); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     for (cout, reps) in cfg {
         for _ in 0..reps {
-            layers.push(Conv { cout, k: 3, stride: 1, pad: 1, act: RELU });
+            layers.push(Conv {
+                cout,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                act: RELU,
+            });
         }
         layers.push(maxpool(2, 2));
     }
-    layers.push(FullyConnected { out: 4096, act: RELU });
-    layers.push(FullyConnected { out: 4096, act: RELU });
-    layers.push(FullyConnected { out: 1000, act: NONE });
+    layers.push(FullyConnected {
+        out: 4096,
+        act: RELU,
+    });
+    layers.push(FullyConnected {
+        out: 4096,
+        act: RELU,
+    });
+    layers.push(FullyConnected {
+        out: 1000,
+        act: NONE,
+    });
     ModelSpec {
         name: "VGG16",
-        input: Dims { c: 3, h: 224, w: 224 },
+        input: Dims {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
         layers,
         spatial_div: 4,
         channel_div: 8,
@@ -192,33 +359,79 @@ pub fn vgg16() -> ModelSpec {
 /// YOLOv4-tiny-style detector backbone — 38 layers.
 pub fn yolov4_tiny() -> ModelSpec {
     let mut layers = vec![
-        Conv { cout: 32, k: 3, stride: 2, pad: 1, act: LEAKY },
-        Conv { cout: 64, k: 3, stride: 2, pad: 1, act: LEAKY },
+        Conv {
+            cout: 32,
+            k: 3,
+            stride: 2,
+            pad: 1,
+            act: LEAKY,
+        },
+        Conv {
+            cout: 64,
+            k: 3,
+            stride: 2,
+            pad: 1,
+            act: LEAKY,
+        },
     ];
     // CSP-ish stages: conv/conv/conv + pool, repeated.
     for cout in [64u32, 128, 256] {
         for _ in 0..3 {
-            layers.push(Conv { cout, k: 3, stride: 1, pad: 1, act: LEAKY });
+            layers.push(Conv {
+                cout,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                act: LEAKY,
+            });
         }
         layers.push(maxpool(2, 2));
     }
     // Neck + heads.
     for _ in 0..2 {
-        layers.push(Conv { cout: 512, k: 3, stride: 1, pad: 1, act: LEAKY });
-        layers.push(Conv { cout: 256, k: 1, stride: 1, pad: 0, act: LEAKY });
+        layers.push(Conv {
+            cout: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            act: LEAKY,
+        });
+        layers.push(Conv {
+            cout: 256,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            act: LEAKY,
+        });
     }
     layers.push(Upsample);
     for _ in 0..3 {
-        layers.push(Conv { cout: 256, k: 3, stride: 1, pad: 1, act: LEAKY });
+        layers.push(Conv {
+            cout: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            act: LEAKY,
+        });
     }
-    layers.push(Conv { cout: 255, k: 1, stride: 1, pad: 0, act: NONE });
+    layers.push(Conv {
+        cout: 255,
+        k: 1,
+        stride: 1,
+        pad: 0,
+        act: NONE,
+    });
     // Pad with norm layers to the published 38-layer graph size.
     while layers.len() < 38 {
         layers.push(Norm);
     }
     ModelSpec {
         name: "YOLOv4-tiny",
-        input: Dims { c: 3, h: 416, w: 416 },
+        input: Dims {
+            c: 3,
+            h: 416,
+            w: 416,
+        },
         layers,
         spatial_div: 8,
         channel_div: 4,
@@ -227,18 +440,34 @@ pub fn yolov4_tiny() -> ModelSpec {
 
 /// The six NNs of the paper's Mali evaluation (Table 6a).
 pub fn mali_suite() -> Vec<ModelSpec> {
-    vec![mnist(), alexnet(), mobilenet(), squeezenet(), resnet12(), vgg16()]
+    vec![
+        mnist(),
+        alexnet(),
+        mobilenet(),
+        squeezenet(),
+        resnet12(),
+        vgg16(),
+    ]
 }
 
 /// The six NNs of the paper's v3d evaluation (Table 6b).
 pub fn v3d_suite() -> Vec<ModelSpec> {
-    vec![yolov4_tiny(), alexnet(), mobilenet(), squeezenet(), resnet18(), vgg16()]
+    vec![
+        yolov4_tiny(),
+        alexnet(),
+        mobilenet(),
+        squeezenet(),
+        resnet18(),
+        vgg16(),
+    ]
 }
 
 /// Looks a model up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<ModelSpec> {
     let lower = name.to_lowercase();
-    catalog().into_iter().find(|m| m.name.to_lowercase() == lower)
+    catalog()
+        .into_iter()
+        .find(|m| m.name.to_lowercase() == lower)
 }
 
 /// The 33 NN configurations this reproduction can record and replay
@@ -295,9 +524,21 @@ pub fn catalog() -> Vec<ModelSpec> {
     let mut lenet_deep = mnist();
     lenet_deep.name = "MNIST-deep";
     lenet_deep.layers = vec![
-        Conv { cout: 8, k: 5, stride: 1, pad: 2, act: RELU },
+        Conv {
+            cout: 8,
+            k: 5,
+            stride: 1,
+            pad: 2,
+            act: RELU,
+        },
         maxpool(2, 2),
-        Conv { cout: 16, k: 5, stride: 1, pad: 2, act: RELU },
+        Conv {
+            cout: 16,
+            k: 5,
+            stride: 1,
+            pad: 2,
+            act: RELU,
+        },
         maxpool(2, 2),
         FullyConnected { out: 10, act: NONE },
         Softmax,

@@ -64,7 +64,8 @@ impl TrainSession {
     /// Fails when GPU memory runs out.
     pub fn build(rt: &mut GpuRuntime, seed: u64) -> Result<TrainSession, DriverError> {
         let mut rng = SimRng::seed_from(seed).fork("train");
-        let alloc = |rt: &mut GpuRuntime, elems: u32, kind| rt.alloc_buffer((elems * 4) as usize, kind);
+        let alloc =
+            |rt: &mut GpuRuntime, elems: u32, kind| rt.alloc_buffer((elems * 4) as usize, kind);
 
         let x = alloc(rt, IMG * IMG, BufferKind::Data)?;
         let labels = alloc(rt, 1, BufferKind::Data)?;
@@ -116,94 +117,234 @@ impl TrainSession {
             // --- forward ---
             mk(
                 KernelOp::Conv2d {
-                    x: x.va, w: w1.va, bias: 0, out: a1_pre.va,
-                    cin: 1, h: IMG, wd: IMG, cout: CONV_CH,
-                    kh: 5, kw: 5, stride: 1, pad: 2, groups: 1, act: ActKind::None,
+                    x: x.va,
+                    w: w1.va,
+                    bias: 0,
+                    out: a1_pre.va,
+                    cin: 1,
+                    h: IMG,
+                    wd: IMG,
+                    cout: CONV_CH,
+                    kh: 5,
+                    kw: 5,
+                    stride: 1,
+                    pad: 2,
+                    groups: 1,
+                    act: ActKind::None,
                 },
                 full(2 * conv_macs, 4 * u64::from(CONV_CH * IMG * IMG)),
-                "conv2d/k5s1g1c8", "fwd:conv1",
+                "conv2d/k5s1g1c8",
+                "fwd:conv1",
             ),
             mk(
-                KernelOp::Activation { x: a1_pre.va, out: a1.va, n: CONV_CH * IMG * IMG, act: ActKind::Relu },
-                full(u64::from(CONV_CH * IMG * IMG), 8 * u64::from(CONV_CH * IMG * IMG)),
-                "act/relu", "fwd:relu1",
+                KernelOp::Activation {
+                    x: a1_pre.va,
+                    out: a1.va,
+                    n: CONV_CH * IMG * IMG,
+                    act: ActKind::Relu,
+                },
+                full(
+                    u64::from(CONV_CH * IMG * IMG),
+                    8 * u64::from(CONV_CH * IMG * IMG),
+                ),
+                "act/relu",
+                "fwd:relu1",
             ),
             mk(
-                KernelOp::Pool2d { x: a1.va, out: p1.va, c: CONV_CH, h: IMG, wd: IMG, win: 2, stride: 2, kind: PoolKind::Max },
+                KernelOp::Pool2d {
+                    x: a1.va,
+                    out: p1.va,
+                    c: CONV_CH,
+                    h: IMG,
+                    wd: IMG,
+                    win: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
                 full(u64::from(FLAT) * 4, 4 * u64::from(CONV_CH * IMG * IMG)),
-                "pool/w2s2", "fwd:pool1",
+                "pool/w2s2",
+                "fwd:pool1",
             ),
             mk(
-                KernelOp::CopyBytes { src: p1.va, dst: flat.va, len: FLAT * 4 },
+                KernelOp::CopyBytes {
+                    src: p1.va,
+                    dst: flat.va,
+                    len: FLAT * 4,
+                },
                 full(0, u64::from(FLAT) * 8),
-                "copy/flatten", "fwd:flatten",
+                "copy/flatten",
+                "fwd:flatten",
             ),
             mk(
-                KernelOp::FullyConnected { x: flat.va, w: wfc.va, bias: bfc.va, out: logits.va, m: 1, k: FLAT, n: CLASSES, act: ActKind::None },
+                KernelOp::FullyConnected {
+                    x: flat.va,
+                    w: wfc.va,
+                    bias: bfc.va,
+                    out: logits.va,
+                    m: 1,
+                    k: FLAT,
+                    n: CLASSES,
+                    act: ActKind::None,
+                },
                 full(2 * fc_macs, 4 * fc_macs / 8),
-                "fc/n10", "fwd:fc",
+                "fc/n10",
+                "fwd:fc",
             ),
             mk(
-                KernelOp::Softmax { x: logits.va, out: probs.va, rows: 1, cols: CLASSES },
+                KernelOp::Softmax {
+                    x: logits.va,
+                    out: probs.va,
+                    rows: 1,
+                    cols: CLASSES,
+                },
                 full(40, 80),
-                "softmax", "fwd:softmax",
+                "softmax",
+                "fwd:softmax",
             ),
             // --- backward ---
             mk(
-                KernelOp::SoftmaxXentGrad { probs: probs.va, labels: labels.va, dx: dlogits.va, rows: 1, cols: CLASSES },
+                KernelOp::SoftmaxXentGrad {
+                    probs: probs.va,
+                    labels: labels.va,
+                    dx: dlogits.va,
+                    rows: 1,
+                    cols: CLASSES,
+                },
                 full(20, 80),
-                "smxent_g", "bwd:xent",
+                "smxent_g",
+                "bwd:xent",
             ),
             mk(
-                KernelOp::MatMulGradW { x: flat.va, dy: dlogits.va, dw: dwfc.va, m: 1, k: FLAT, n: CLASSES },
+                KernelOp::MatMulGradW {
+                    x: flat.va,
+                    dy: dlogits.va,
+                    dw: dwfc.va,
+                    m: 1,
+                    k: FLAT,
+                    n: CLASSES,
+                },
                 full(2 * fc_macs, 4 * fc_macs / 8),
-                "mm_gw/fc", "bwd:fc_gw",
+                "mm_gw/fc",
+                "bwd:fc_gw",
             ),
             mk(
-                KernelOp::BiasGradReduce { dy: dlogits.va, db: dbfc.va, m: 1, n: CLASSES },
+                KernelOp::BiasGradReduce {
+                    dy: dlogits.va,
+                    db: dbfc.va,
+                    m: 1,
+                    n: CLASSES,
+                },
                 full(10, 80),
-                "bias_g", "bwd:fc_gb",
+                "bias_g",
+                "bwd:fc_gb",
             ),
             mk(
-                KernelOp::MatMulGradX { dy: dlogits.va, w: wfc.va, dx: dflat.va, m: 1, k: FLAT, n: CLASSES },
+                KernelOp::MatMulGradX {
+                    dy: dlogits.va,
+                    w: wfc.va,
+                    dx: dflat.va,
+                    m: 1,
+                    k: FLAT,
+                    n: CLASSES,
+                },
                 full(2 * fc_macs, 4 * fc_macs / 8),
-                "mm_gx/fc", "bwd:fc_gx",
+                "mm_gx/fc",
+                "bwd:fc_gx",
             ),
             mk(
-                KernelOp::CopyBytes { src: dflat.va, dst: dflat.va, len: FLAT * 4 },
+                KernelOp::CopyBytes {
+                    src: dflat.va,
+                    dst: dflat.va,
+                    len: FLAT * 4,
+                },
                 full(0, u64::from(FLAT) * 8),
-                "copy/unflatten", "bwd:unflatten",
+                "copy/unflatten",
+                "bwd:unflatten",
             ),
             mk(
-                KernelOp::PoolGrad { x: a1.va, dy: dflat.va, dx: da1.va, c: CONV_CH, h: IMG, wd: IMG, win: 2, stride: 2, kind: PoolKind::Max },
+                KernelOp::PoolGrad {
+                    x: a1.va,
+                    dy: dflat.va,
+                    dx: da1.va,
+                    c: CONV_CH,
+                    h: IMG,
+                    wd: IMG,
+                    win: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
                 full(u64::from(FLAT) * 4, 8 * u64::from(CONV_CH * IMG * IMG)),
-                "pool_g", "bwd:pool_g",
+                "pool_g",
+                "bwd:pool_g",
             ),
             mk(
-                KernelOp::ReluGrad { x: a1_pre.va, dy: da1.va, dx: da1_pre.va, n: CONV_CH * IMG * IMG },
-                full(u64::from(CONV_CH * IMG * IMG), 12 * u64::from(CONV_CH * IMG * IMG)),
-                "relu_g", "bwd:relu_g",
+                KernelOp::ReluGrad {
+                    x: a1_pre.va,
+                    dy: da1.va,
+                    dx: da1_pre.va,
+                    n: CONV_CH * IMG * IMG,
+                },
+                full(
+                    u64::from(CONV_CH * IMG * IMG),
+                    12 * u64::from(CONV_CH * IMG * IMG),
+                ),
+                "relu_g",
+                "bwd:relu_g",
             ),
             mk(
-                KernelOp::Conv2dGradW { x: x.va, dy: da1_pre.va, dw: dw1.va, cin: 1, h: IMG, wd: IMG, cout: CONV_CH, kh: 5, kw: 5, stride: 1, pad: 2 },
+                KernelOp::Conv2dGradW {
+                    x: x.va,
+                    dy: da1_pre.va,
+                    dw: dw1.va,
+                    cin: 1,
+                    h: IMG,
+                    wd: IMG,
+                    cout: CONV_CH,
+                    kh: 5,
+                    kw: 5,
+                    stride: 1,
+                    pad: 2,
+                },
                 full(2 * conv_macs, 4 * u64::from(CONV_CH * IMG * IMG)),
-                "conv_gw", "bwd:conv_gw",
+                "conv_gw",
+                "bwd:conv_gw",
             ),
             // --- optimizer ---
             mk(
-                KernelOp::SgdStep { w: w1.va, g: dw1.va, n: CONV_CH * 25, lr: LR },
+                KernelOp::SgdStep {
+                    w: w1.va,
+                    g: dw1.va,
+                    n: CONV_CH * 25,
+                    lr: LR,
+                },
                 full(u64::from(CONV_CH * 25) * 2, u64::from(CONV_CH * 25) * 12),
-                "sgd", "opt:w1",
+                "sgd",
+                "opt:w1",
             ),
             mk(
-                KernelOp::SgdStep { w: wfc.va, g: dwfc.va, n: FLAT * CLASSES, lr: LR },
-                full(u64::from(FLAT * CLASSES) * 2, u64::from(FLAT * CLASSES) * 12),
-                "sgd", "opt:wfc",
+                KernelOp::SgdStep {
+                    w: wfc.va,
+                    g: dwfc.va,
+                    n: FLAT * CLASSES,
+                    lr: LR,
+                },
+                full(
+                    u64::from(FLAT * CLASSES) * 2,
+                    u64::from(FLAT * CLASSES) * 12,
+                ),
+                "sgd",
+                "opt:wfc",
             ),
             mk(
-                KernelOp::SgdStep { w: bfc.va, g: dbfc.va, n: CLASSES, lr: LR },
+                KernelOp::SgdStep {
+                    w: bfc.va,
+                    g: dbfc.va,
+                    n: CLASSES,
+                    lr: LR,
+                },
                 full(20, 120),
-                "sgd", "opt:bfc",
+                "sgd",
+                "opt:bfc",
             ),
         ];
 

@@ -125,29 +125,71 @@ pub fn build_recording(
         match &e.event {
             RawEvent::RegWrite { reg, val } => {
                 regio += 1;
-                push(&mut rec, &mut prev_at, e.at, Action::RegWrite { reg: *reg, mask: u32::MAX, val: *val });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegWrite {
+                        reg: *reg,
+                        mask: u32::MAX,
+                        val: *val,
+                    },
+                );
             }
             RawEvent::RegRead { reg, val } => {
                 regio += 1;
-                push(&mut rec, &mut prev_at, e.at, Action::RegReadOnce { reg: *reg, expect: *val, ignore: false });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegReadOnce {
+                        reg: *reg,
+                        expect: *val,
+                        ignore: false,
+                    },
+                );
             }
-            RawEvent::Poll { reg, mask, val, polls, timeout } => {
+            RawEvent::Poll {
+                reg,
+                mask,
+                val,
+                polls,
+                timeout,
+            } => {
                 regio += polls;
-                push(&mut rec, &mut prev_at, e.at, Action::RegReadWait {
-                    reg: *reg,
-                    mask: *mask,
-                    val: *val,
-                    timeout_ns: timeout.as_nanos(),
-                });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegReadWait {
+                        reg: *reg,
+                        mask: *mask,
+                        val: *val,
+                        timeout_ns: timeout.as_nanos(),
+                    },
+                );
             }
             RawEvent::PgtableSet => {
                 push(&mut rec, &mut prev_at, e.at, Action::SetGpuPgtable);
             }
             RawEvent::WaitIrq { line, timeout } => {
-                push(&mut rec, &mut prev_at, e.at, Action::WaitIrq { line: *line, timeout_ns: timeout.as_nanos() });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::WaitIrq {
+                        line: *line,
+                        timeout_ns: timeout.as_nanos(),
+                    },
+                );
             }
             RawEvent::IrqCtx { enter } => {
-                push(&mut rec, &mut prev_at, e.at, Action::IrqContext { enter: *enter });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::IrqContext { enter: *enter },
+                );
             }
             _ => {}
         }
@@ -156,10 +198,15 @@ pub fn build_recording(
     // Synthesized mappings: everything live at group start.
     for r in live_regions {
         let at = prev_at.unwrap_or(SimTime::ZERO);
-        push(&mut rec, &mut prev_at, at, Action::MapGpuMem {
-            va: r.va,
-            pte_flags: r.pte_flags.clone(),
-        });
+        push(
+            &mut rec,
+            &mut prev_at,
+            at,
+            Action::MapGpuMem {
+                va: r.va,
+                pte_flags: r.pte_flags.clone(),
+            },
+        );
     }
 
     // The group's events.
@@ -167,46 +214,106 @@ pub fn build_recording(
         match &e.event {
             RawEvent::RegWrite { reg, val } => {
                 regio += 1;
-                push(&mut rec, &mut prev_at, e.at, Action::RegWrite { reg: *reg, mask: u32::MAX, val: *val });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegWrite {
+                        reg: *reg,
+                        mask: u32::MAX,
+                        val: *val,
+                    },
+                );
             }
             RawEvent::RegRead { reg, val } => {
                 regio += 1;
-                push(&mut rec, &mut prev_at, e.at, Action::RegReadOnce { reg: *reg, expect: *val, ignore: false });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegReadOnce {
+                        reg: *reg,
+                        expect: *val,
+                        ignore: false,
+                    },
+                );
             }
-            RawEvent::Poll { reg, mask, val, polls, timeout } => {
+            RawEvent::Poll {
+                reg,
+                mask,
+                val,
+                polls,
+                timeout,
+            } => {
                 regio += polls;
-                push(&mut rec, &mut prev_at, e.at, Action::RegReadWait {
-                    reg: *reg,
-                    mask: *mask,
-                    val: *val,
-                    timeout_ns: timeout.as_nanos(),
-                });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::RegReadWait {
+                        reg: *reg,
+                        mask: *mask,
+                        val: *val,
+                        timeout_ns: timeout.as_nanos(),
+                    },
+                );
             }
             RawEvent::WaitIrq { line, timeout } => {
-                push(&mut rec, &mut prev_at, e.at, Action::WaitIrq { line: *line, timeout_ns: timeout.as_nanos() });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::WaitIrq {
+                        line: *line,
+                        timeout_ns: timeout.as_nanos(),
+                    },
+                );
             }
             RawEvent::IrqCtx { enter } => {
-                push(&mut rec, &mut prev_at, e.at, Action::IrqContext { enter: *enter });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::IrqContext { enter: *enter },
+                );
             }
             RawEvent::PgtableSet => {
                 push(&mut rec, &mut prev_at, e.at, Action::SetGpuPgtable);
             }
             RawEvent::Map { va, pte_flags, .. } => {
-                push(&mut rec, &mut prev_at, e.at, Action::MapGpuMem {
-                    va: *va,
-                    pte_flags: pte_flags.clone(),
-                });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::MapGpuMem {
+                        va: *va,
+                        pte_flags: pte_flags.clone(),
+                    },
+                );
             }
             RawEvent::Unmap { va } => {
-                push(&mut rec, &mut prev_at, e.at, Action::UnmapGpuMem { va: *va });
+                push(
+                    &mut rec,
+                    &mut prev_at,
+                    e.at,
+                    Action::UnmapGpuMem { va: *va },
+                );
             }
-            RawEvent::JobDump { pages, mapped_pages } => {
+            RawEvent::JobDump {
+                pages,
+                mapped_pages,
+            } => {
                 jobs += 1;
                 peak_pages = peak_pages.max(*mapped_pages);
                 for dump in merge_pages(pages) {
                     let idx = rec.dumps.len() as u32;
                     rec.dumps.push(dump);
-                    push(&mut rec, &mut prev_at, e.at, Action::Upload { dump_idx: idx });
+                    push(
+                        &mut rec,
+                        &mut prev_at,
+                        e.at,
+                        Action::Upload { dump_idx: idx },
+                    );
                 }
                 if inputs_pending && !first_dump_seen {
                     // Inject app input after the first dump load (so the
@@ -275,31 +382,66 @@ mod tests {
             ev(0, RawEvent::RegWrite { reg: 0x18, val: 1 }),
             // 1 ms idle gap (e.g. JIT) — skippable.
             ev(1_000_000, RawEvent::GpuPhase { busy: true }),
-            ev(1_000_000, RawEvent::RegWrite { reg: 0x2020, val: 1 }),
+            ev(
+                1_000_000,
+                RawEvent::RegWrite {
+                    reg: 0x2020,
+                    val: 1,
+                },
+            ),
             // 500 µs gap overlapping the busy span — preserved.
-            ev(1_500_000, RawEvent::RegRead { reg: 0x2024, val: 2 }),
+            ev(
+                1_500_000,
+                RawEvent::RegRead {
+                    reg: 0x2024,
+                    val: 2,
+                },
+            ),
             ev(1_500_000, RawEvent::GpuPhase { busy: false }),
         ];
         let rec = build_recording(&cfg(true), &[], &[], &group, vec![], vec![]);
         assert_eq!(rec.actions.len(), 3);
         assert_eq!(rec.actions[1].min_interval_ns, 0, "idle gap skipped");
-        assert_eq!(rec.actions[2].min_interval_ns, 500_000, "busy gap preserved");
+        assert_eq!(
+            rec.actions[2].min_interval_ns, 500_000,
+            "busy gap preserved"
+        );
 
         let rec2 = build_recording(&cfg(false), &[], &[], &group, vec![], vec![]);
-        assert_eq!(rec2.actions[1].min_interval_ns, 1_000_000, "ablation keeps it");
+        assert_eq!(
+            rec2.actions[1].min_interval_ns, 1_000_000,
+            "ablation keeps it"
+        );
     }
 
     #[test]
     fn dumps_become_uploads_and_inputs_follow_first_dump() {
         let page = vec![7u8; PAGE_SIZE];
         let group = vec![
-            ev(0, RawEvent::JobDump {
-                pages: vec![(0x1000, page.clone()), (0x2000, page.clone()), (0x9000, page)],
-                mapped_pages: 3,
-            }),
-            ev(10, RawEvent::RegWrite { reg: 0x2020, val: 1 }),
+            ev(
+                0,
+                RawEvent::JobDump {
+                    pages: vec![
+                        (0x1000, page.clone()),
+                        (0x2000, page.clone()),
+                        (0x9000, page),
+                    ],
+                    mapped_pages: 3,
+                },
+            ),
+            ev(
+                10,
+                RawEvent::RegWrite {
+                    reg: 0x2020,
+                    val: 1,
+                },
+            ),
         ];
-        let inputs = vec![IoSlot { name: "in".into(), va: 0x9000, len: 64 }];
+        let inputs = vec![IoSlot {
+            name: "in".into(),
+            va: 0x9000,
+            len: 64,
+        }];
         let rec = build_recording(&cfg(true), &[], &[], &group, inputs, vec![]);
         // Contiguous pages 0x1000+0x2000 merge; 0x9000 separate.
         assert_eq!(rec.dumps.len(), 2);
@@ -315,19 +457,27 @@ mod tests {
     fn prologue_polls_summarize_and_count_regio() {
         let prologue = vec![
             ev(0, RawEvent::RegWrite { reg: 0x18, val: 1 }),
-            ev(100, RawEvent::Poll {
-                reg: 8,
-                mask: 0x100,
-                val: 0x100,
-                polls: 37,
-                timeout: SimDuration::from_millis(50),
-            }),
+            ev(
+                100,
+                RawEvent::Poll {
+                    reg: 8,
+                    mask: 0x100,
+                    val: 0x100,
+                    polls: 37,
+                    timeout: SimDuration::from_millis(50),
+                },
+            ),
         ];
         let rec = build_recording(&cfg(true), &prologue, &[], &[], vec![], vec![]);
         assert_eq!(rec.meta.regio_count, 38);
         assert!(matches!(
             rec.actions[1].action,
-            Action::RegReadWait { reg: 8, mask: 0x100, val: 0x100, timeout_ns: 50_000_000 }
+            Action::RegReadWait {
+                reg: 8,
+                mask: 0x100,
+                val: 0x100,
+                timeout_ns: 50_000_000
+            }
         ));
     }
 

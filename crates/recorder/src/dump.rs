@@ -112,13 +112,21 @@ mod tests {
     use gr_soc::{PhysMem, SharedMem};
     use gr_stack::hooks::RegionSnapshot;
 
-    fn region(va: u64, pages: usize, kind: RegionKind, flags: u16, first_pa: u64) -> RegionSnapshot {
+    fn region(
+        va: u64,
+        pages: usize,
+        kind: RegionKind,
+        flags: u16,
+        first_pa: u64,
+    ) -> RegionSnapshot {
         RegionSnapshot {
             va,
             pages,
             kind,
             pte_flags: vec![flags; pages],
-            pas: (0..pages).map(|i| first_pa + (i * PAGE_SIZE) as u64).collect(),
+            pas: (0..pages)
+                .map(|i| first_pa + (i * PAGE_SIZE) as u64)
+                .collect(),
         }
     }
 
@@ -131,7 +139,13 @@ mod tests {
         let regions = vec![
             region(0x10000, 1, RegionKind::JobBinary, exec_bits, 0),
             region(0x20000, 1, RegionKind::Data, data_bits, PAGE_SIZE as u64),
-            region(0x30000, 2, RegionKind::Internal, internal_bits, 2 * PAGE_SIZE as u64),
+            region(
+                0x30000,
+                2,
+                RegionKind::Internal,
+                internal_bits,
+                2 * PAGE_SIZE as u64,
+            ),
         ];
         let ctx = DumpCtx {
             mem: &mem,
@@ -150,14 +164,23 @@ mod tests {
         let exec_lpae = encode_flags(PteFormat::MaliLpae, PteFlags::exec_cpu()) as u16;
         let regions = vec![
             region(0x10000, 1, RegionKind::JobBinary, exec_lpae, 0),
-            region(0x20000, 1, RegionKind::Internal, internal_lpae, PAGE_SIZE as u64),
+            region(
+                0x20000,
+                1,
+                RegionKind::Internal,
+                internal_lpae,
+                PAGE_SIZE as u64,
+            ),
         ];
         let ctx = DumpCtx {
             mem: &mem,
             regions: &regions,
             root: JobRoot::MaliChain { head_va: 0x10000 },
         };
-        let vas: Vec<u64> = mali_pages(PteFormat::MaliLpae, &ctx).iter().map(|(va, _)| *va).collect();
+        let vas: Vec<u64> = mali_pages(PteFormat::MaliLpae, &ctx)
+            .iter()
+            .map(|(va, _)| *va)
+            .collect();
         assert_eq!(vas, vec![0x10000]);
     }
 
@@ -184,14 +207,23 @@ mod tests {
         let ctx = DumpCtx {
             mem: &mem,
             regions: &regions,
-            root: JobRoot::V3dList { cl_va: 0x5000, cl_len: main_bytes.len() as u32 },
+            root: JobRoot::V3dList {
+                cl_va: 0x5000,
+                cl_len: main_bytes.len() as u32,
+            },
         };
         let vas: Vec<u64> = v3d_pages(&ctx).iter().map(|(va, _)| *va).collect();
         assert!(vas.contains(&0x5000), "list page");
         assert!(vas.contains(&0x9000), "branched sub-list page");
-        assert!(vas.contains(&0x4_0000), "shader page found via pointer chase");
+        assert!(
+            vas.contains(&0x4_0000),
+            "shader page found via pointer chase"
+        );
         assert!(vas.contains(&0x6_0000), "data hint");
-        assert!(!vas.contains(&0x7_0000), "scratch excluded unless referenced");
+        assert!(
+            !vas.contains(&0x7_0000),
+            "scratch excluded unless referenced"
+        );
     }
 
     #[test]
@@ -204,8 +236,19 @@ mod tests {
             region(0x10000, 4, RegionKind::Internal, internal_bits, 0),
             region(0x20000, 1, RegionKind::Data, 0xB, 4 * PAGE_SIZE as u64),
         ];
-        let mali_ctx = DumpCtx { mem: &mem, regions: &regions, root: JobRoot::MaliChain { head_va: 0 } };
-        let v3d_ctx = DumpCtx { mem: &mem, regions: &regions, root: JobRoot::V3dList { cl_va: 0, cl_len: 0 } };
+        let mali_ctx = DumpCtx {
+            mem: &mem,
+            regions: &regions,
+            root: JobRoot::MaliChain { head_va: 0 },
+        };
+        let v3d_ctx = DumpCtx {
+            mem: &mem,
+            regions: &regions,
+            root: JobRoot::V3dList {
+                cl_va: 0,
+                cl_len: 0,
+            },
+        };
         assert!(v3d_pages(&v3d_ctx).len() > mali_pages(PteFormat::MaliStandard, &mali_ctx).len());
     }
 }

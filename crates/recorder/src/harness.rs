@@ -154,8 +154,11 @@ impl RecordHarness {
             &self.first_dump_pages(marks[0].0, marks[0].1),
             &taint::f32_pattern(&magic_a),
         );
-        let out_hits_a =
-            taint::scan_regions(&data_regions, self.machine.mem(), &taint::f32_pattern(&out_a));
+        let out_hits_a = taint::scan_regions(
+            &data_regions,
+            self.machine.mem(),
+            &taint::f32_pattern(&out_a),
+        );
 
         // --- Run B (discovery confirmation; recording discarded) ---
         let mut rng_b = SimRng::seed_from(seed).fork("magicB");
@@ -172,13 +175,20 @@ impl RecordHarness {
             &self.first_dump_pages(mb0, mb1),
             &taint::f32_pattern(&magic_b),
         );
-        let out_hits_b =
-            taint::scan_regions(&data_regions, self.machine.mem(), &taint::f32_pattern(&out_b));
+        let out_hits_b = taint::scan_regions(
+            &data_regions,
+            self.machine.mem(),
+            &taint::f32_pattern(&out_b),
+        );
 
         let input_cands = taint::intersect(&in_a, &in_b);
         let output_cands = taint::intersect(&out_hits_a, &out_hits_b);
-        let &input_va = input_cands.first().ok_or(DriverError::BadState("input not found"))?;
-        let &output_va = output_cands.first().ok_or(DriverError::BadState("output not found"))?;
+        let &input_va = input_cands
+            .first()
+            .ok_or(DriverError::BadState("input not found"))?;
+        let &output_va = output_cands
+            .first()
+            .ok_or(DriverError::BadState("output not found"))?;
 
         // --- Build recordings from run A ---
         let prologue = self.recorder.events(0, self.prologue_end);
@@ -236,7 +246,10 @@ impl RecordHarness {
         let rt = self.exec.runtime_mut();
         let sess = TrainSession::build(rt, seed)?;
         let mut rng = SimRng::seed_from(seed).fork("train-img");
-        let img = taint::magic_input((gr_mlfw::train::IMG * gr_mlfw::train::IMG) as usize, &mut rng);
+        let img = taint::magic_input(
+            (gr_mlfw::train::IMG * gr_mlfw::train::IMG) as usize,
+            &mut rng,
+        );
         self.recorder.reset_dump_cache();
         let m0 = self.recorder.mark();
         let loss = sess.run_iteration(self.exec.runtime_mut(), &img, 3)?;
@@ -319,15 +332,29 @@ impl RecordHarness {
         let m1 = self.recorder.mark();
 
         let inputs = vec![
-            IoSlot { name: "a".into(), va: a.va, len: (actual_n * 4) as u32 },
-            IoSlot { name: "b".into(), va: b.va, len: (actual_n * 4) as u32 },
+            IoSlot {
+                name: "a".into(),
+                va: a.va,
+                len: (actual_n * 4) as u32,
+            },
+            IoSlot {
+                name: "b".into(),
+                va: b.va,
+                len: (actual_n * 4) as u32,
+            },
         ];
-        let outputs = vec![IoSlot { name: "out".into(), va: out.va, len: (actual_n * 4) as u32 }];
+        let outputs = vec![IoSlot {
+            name: "out".into(),
+            va: out.va,
+            len: (actual_n * 4) as u32,
+        }];
         let prologue = self.recorder.events(0, self.prologue_end);
         let group = self.recorder.events(m0, m1);
         let regions = self.recorder.last_regions();
         let cfg = self.build_cfg(format!("vecadd-{modeled_n}"), modeled_n * 12);
-        Ok(build_recording(&cfg, &prologue, &regions, &group, inputs, outputs))
+        Ok(build_recording(
+            &cfg, &prologue, &regions, &group, inputs, outputs,
+        ))
     }
 
     /// Releases the stack (GPU powered down, ready for a replayer).
@@ -352,10 +379,20 @@ mod tests {
             .unwrap();
         assert_eq!(recs.recordings.len(), 1);
         let rec = &recs.recordings[0];
-        assert_eq!(recs.input_va, recs.net.input_va, "taint found the true input");
-        assert_eq!(recs.output_va, recs.net.output_va, "taint found the true output");
+        assert_eq!(
+            recs.input_va, recs.net.input_va,
+            "taint found the true input"
+        );
+        assert_eq!(
+            recs.output_va, recs.net.output_va,
+            "taint found the true output"
+        );
         assert_eq!(rec.meta.job_count as usize, recs.net.job_count());
-        assert!(rec.meta.regio_count > 50, "regio = {}", rec.meta.regio_count);
+        assert!(
+            rec.meta.regio_count > 50,
+            "regio = {}",
+            rec.meta.regio_count
+        );
         assert!(!rec.dumps.is_empty());
         assert_eq!(rec.inputs.len(), 1);
         assert_eq!(rec.outputs.len(), 1);

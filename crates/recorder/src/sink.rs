@@ -268,9 +268,9 @@ impl RecorderSink for Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gr_gpu::GpuFamilyKind;
     #[allow(unused_imports)]
     use gr_gpu::sku;
+    use gr_gpu::GpuFamilyKind;
 
     #[test]
     fn records_in_order_with_marks() {
@@ -283,7 +283,10 @@ mod tests {
         rec.reg_read(0x08, 0x100);
         let evs = rec.events(0, rec.mark());
         assert_eq!(evs.len(), 2);
-        assert!(matches!(evs[0].event, RawEvent::RegWrite { reg: 0x18, val: 1 }));
+        assert!(matches!(
+            evs[0].event,
+            RawEvent::RegWrite { reg: 0x18, val: 1 }
+        ));
         assert!(evs[1].at > evs[0].at);
         let seg = rec.events(m, rec.mark());
         assert_eq!(seg.len(), 1);

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn intersection_eliminates_false_matches() {
-        assert_eq!(intersect(&[0x1000, 0x2000], &[0x2000, 0x3000]), vec![0x2000]);
+        assert_eq!(
+            intersect(&[0x1000, 0x2000], &[0x2000, 0x3000]),
+            vec![0x2000]
+        );
         assert!(intersect(&[0x1000], &[]).is_empty());
     }
 

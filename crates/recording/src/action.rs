@@ -159,16 +159,35 @@ mod tests {
     #[test]
     fn tags_are_unique() {
         let actions = vec![
-            Action::RegReadOnce { reg: 0, expect: 0, ignore: false },
-            Action::RegReadWait { reg: 0, mask: 0, val: 0, timeout_ns: 0 },
-            Action::RegWrite { reg: 0, mask: 0, val: 0 },
+            Action::RegReadOnce {
+                reg: 0,
+                expect: 0,
+                ignore: false,
+            },
+            Action::RegReadWait {
+                reg: 0,
+                mask: 0,
+                val: 0,
+                timeout_ns: 0,
+            },
+            Action::RegWrite {
+                reg: 0,
+                mask: 0,
+                val: 0,
+            },
             Action::SetGpuPgtable,
-            Action::MapGpuMem { va: 0, pte_flags: vec![] },
+            Action::MapGpuMem {
+                va: 0,
+                pte_flags: vec![],
+            },
             Action::UnmapGpuMem { va: 0 },
             Action::Upload { dump_idx: 0 },
             Action::CopyToGpu { slot: 0 },
             Action::CopyFromGpu { slot: 0 },
-            Action::WaitIrq { line: 0, timeout_ns: 0 },
+            Action::WaitIrq {
+                line: 0,
+                timeout_ns: 0,
+            },
             Action::IrqContext { enter: true },
         ];
         let mut tags: Vec<u8> = actions.iter().map(Action::tag).collect();
@@ -180,7 +199,12 @@ mod tests {
     #[test]
     fn register_classification() {
         assert_eq!(
-            Action::RegWrite { reg: 0x18, mask: 0, val: 0 }.touches_register(),
+            Action::RegWrite {
+                reg: 0x18,
+                mask: 0,
+                val: 0
+            }
+            .touches_register(),
             Some(0x18)
         );
         assert_eq!(Action::SetGpuPgtable.touches_register(), None);

@@ -64,7 +64,11 @@ pub fn grz_compress(data: &[u8]) -> Vec<u8> {
     let mut ntok = 0u8;
     let mut group: Vec<u8> = Vec::with_capacity(17);
 
-    let flush = |out: &mut Vec<u8>, flag: &mut u8, ntok: &mut u8, group: &mut Vec<u8>, flag_pos: &mut usize| {
+    let flush = |out: &mut Vec<u8>,
+                 flag: &mut u8,
+                 ntok: &mut u8,
+                 group: &mut Vec<u8>,
+                 flag_pos: &mut usize| {
         let _ = flag_pos;
         out.push(*flag);
         out.extend_from_slice(group);
@@ -216,7 +220,12 @@ mod tests {
     fn zero_pages_compress_hugely() {
         let data = vec![0u8; 64 * 1024];
         let z = grz_compress(&data);
-        assert!(z.len() < data.len() / 20, "zeros: {} -> {}", data.len(), z.len());
+        assert!(
+            z.len() < data.len() / 20,
+            "zeros: {} -> {}",
+            data.len(),
+            z.len()
+        );
         assert_eq!(grz_decompress(&z).unwrap(), data);
     }
 
@@ -272,9 +281,25 @@ mod tests {
         assert_eq!(grz_decompress(b"nope"), Err(GrzError::BadHeader));
         assert_eq!(grz_decompress(b"GRZ1\x01\x00"), Err(GrzError::BadHeader));
         let z = grz_compress(b"hello world hello world");
-        assert_eq!(grz_decompress(&z[..z.len() - 2]).err(), Some(GrzError::Truncated));
+        assert_eq!(
+            grz_decompress(&z[..z.len() - 2]).err(),
+            Some(GrzError::Truncated)
+        );
         // A match referencing before the origin.
-        let bad = [b'G', b'R', b'Z', b'1', 4, 0, 0, 0, 0b0000_0001, 0xFF, 0xF0, 0x00];
+        let bad = [
+            b'G',
+            b'R',
+            b'Z',
+            b'1',
+            4,
+            0,
+            0,
+            0,
+            0b0000_0001,
+            0xFF,
+            0xF0,
+            0x00,
+        ];
         assert_eq!(grz_decompress(&bad), Err(GrzError::BadMatch));
     }
 

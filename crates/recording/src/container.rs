@@ -186,12 +186,21 @@ impl Recording {
             p.u64(ta.min_interval_ns);
             p.u8(ta.action.tag());
             match &ta.action {
-                Action::RegReadOnce { reg, expect, ignore } => {
+                Action::RegReadOnce {
+                    reg,
+                    expect,
+                    ignore,
+                } => {
                     p.u32(*reg);
                     p.u32(*expect);
                     p.bool(*ignore);
                 }
-                Action::RegReadWait { reg, mask, val, timeout_ns } => {
+                Action::RegReadWait {
+                    reg,
+                    mask,
+                    val,
+                    timeout_ns,
+                } => {
                     p.u32(*reg);
                     p.u32(*mask);
                     p.u32(*val);
@@ -268,7 +277,10 @@ impl Recording {
         if fnv1a(payload) != checksum {
             return Err(ContainerError::ChecksumMismatch);
         }
-        let mut r = R { buf: payload, pos: 0 };
+        let mut r = R {
+            buf: payload,
+            pos: 0,
+        };
         let mut meta = RecordingMeta::new("", "", 0, "");
         meta.family = r.str()?;
         meta.sku_name = r.str()?;
@@ -383,26 +395,66 @@ mod tests {
         rec.meta.peak_mapped_pages = 10;
         rec.meta.modeled_gpu_mem_bytes = 1 << 20;
         rec.actions = vec![
-            TimedAction::immediate(Action::RegReadOnce { reg: 0, expect: 0x6956_0010, ignore: false }),
-            TimedAction::paced(Action::RegWrite { reg: 0x18, mask: u32::MAX, val: 1 }, 1000),
-            TimedAction::immediate(Action::RegReadWait { reg: 8, mask: 0x100, val: 0x100, timeout_ns: 1_000_000 }),
+            TimedAction::immediate(Action::RegReadOnce {
+                reg: 0,
+                expect: 0x6956_0010,
+                ignore: false,
+            }),
+            TimedAction::paced(
+                Action::RegWrite {
+                    reg: 0x18,
+                    mask: u32::MAX,
+                    val: 1,
+                },
+                1000,
+            ),
+            TimedAction::immediate(Action::RegReadWait {
+                reg: 8,
+                mask: 0x100,
+                val: 0x100,
+                timeout_ns: 1_000_000,
+            }),
             TimedAction::immediate(Action::SetGpuPgtable),
-            TimedAction::immediate(Action::MapGpuMem { va: 0x10_0000, pte_flags: vec![0xF, 0xB] }),
+            TimedAction::immediate(Action::MapGpuMem {
+                va: 0x10_0000,
+                pte_flags: vec![0xF, 0xB],
+            }),
             TimedAction::immediate(Action::Upload { dump_idx: 0 }),
             TimedAction::immediate(Action::CopyToGpu { slot: 0 }),
-            TimedAction::immediate(Action::WaitIrq { line: 0, timeout_ns: 10_000_000_000 }),
+            TimedAction::immediate(Action::WaitIrq {
+                line: 0,
+                timeout_ns: 10_000_000_000,
+            }),
             TimedAction::immediate(Action::IrqContext { enter: true }),
-            TimedAction::immediate(Action::RegWrite { reg: 0x2004, mask: u32::MAX, val: 1 }),
+            TimedAction::immediate(Action::RegWrite {
+                reg: 0x2004,
+                mask: u32::MAX,
+                val: 1,
+            }),
             TimedAction::immediate(Action::IrqContext { enter: false }),
             TimedAction::immediate(Action::CopyFromGpu { slot: 0 }),
             TimedAction::immediate(Action::UnmapGpuMem { va: 0x10_0000 }),
         ];
         rec.dumps = vec![
-            Dump { va: 0x10_0000, bytes: vec![0xAB; 4096] },
-            Dump { va: 0x10_1000, bytes: (0..=255u8).cycle().take(8192).collect() },
+            Dump {
+                va: 0x10_0000,
+                bytes: vec![0xAB; 4096],
+            },
+            Dump {
+                va: 0x10_1000,
+                bytes: (0..=255u8).cycle().take(8192).collect(),
+            },
         ];
-        rec.inputs = vec![IoSlot { name: "input0".into(), va: 0x20_0000, len: 1024 }];
-        rec.outputs = vec![IoSlot { name: "out0".into(), va: 0x20_1000, len: 40 }];
+        rec.inputs = vec![IoSlot {
+            name: "input0".into(),
+            va: 0x20_0000,
+            len: 1024,
+        }];
+        rec.outputs = vec![IoSlot {
+            name: "out0".into(),
+            va: 0x20_1000,
+            len: 40,
+        }];
         rec
     }
 
@@ -446,9 +498,15 @@ mod tests {
         let rec = sample();
         let mut bytes = rec.to_bytes();
         bytes[4] = 9; // version
-        assert_eq!(Recording::from_bytes(&bytes), Err(ContainerError::BadVersion(9)));
+        assert_eq!(
+            Recording::from_bytes(&bytes),
+            Err(ContainerError::BadVersion(9))
+        );
         bytes[0] = b'X';
-        assert_eq!(Recording::from_bytes(&bytes), Err(ContainerError::BadHeader));
+        assert_eq!(
+            Recording::from_bytes(&bytes),
+            Err(ContainerError::BadHeader)
+        );
     }
 
     #[test]

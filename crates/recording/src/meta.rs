@@ -76,9 +76,16 @@ mod tests {
 
     #[test]
     fn dump_and_slot_hold_data() {
-        let d = Dump { va: 0x1000, bytes: vec![1, 2, 3] };
+        let d = Dump {
+            va: 0x1000,
+            bytes: vec![1, 2, 3],
+        };
         assert_eq!(d.bytes.len(), 3);
-        let s = IoSlot { name: "in".into(), va: 0x2000, len: 64 };
+        let s = IoSlot {
+            name: "in".into(),
+            va: 0x2000,
+            len: 64,
+        };
         assert_eq!(s.len, 64);
     }
 }

@@ -5,8 +5,8 @@
 //! at or before "now" in schedule order. Ties break by insertion order so
 //! simulation stays deterministic.
 
-use std::collections::BinaryHeap;
 use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 

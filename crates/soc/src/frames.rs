@@ -53,7 +53,10 @@ impl FrameAllocator {
     ///
     /// Panics if `base` is not page-aligned.
     pub fn new(base: u64, frames: usize) -> Self {
-        assert!(base % PAGE_SIZE as u64 == 0, "frame base must be page aligned");
+        assert!(
+            base % PAGE_SIZE as u64 == 0,
+            "frame base must be page aligned"
+        );
         FrameAllocator {
             base,
             used: vec![false; frames],
@@ -220,7 +223,10 @@ mod tests {
         assert_eq!(a.free(f), Err(FrameFreeError { pa: f }));
         assert!(a.free(0x500).is_err(), "below base");
         assert!(a.free(0x1001).is_err(), "unaligned");
-        assert!(a.free(0x1000 + 10 * PAGE_SIZE as u64).is_err(), "beyond range");
+        assert!(
+            a.free(0x1000 + 10 * PAGE_SIZE as u64).is_err(),
+            "beyond range"
+        );
     }
 
     #[test]

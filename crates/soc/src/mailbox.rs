@@ -128,8 +128,7 @@ impl Mailbox {
     fn apply(&mut self, req: MboxRequest) -> u32 {
         match req {
             MboxRequest::SetPower { domain, on } => {
-                self.pmc
-                    .write32(Pmc::pwr_ctrl_off(domain), u32::from(on));
+                self.pmc.write32(Pmc::pwr_ctrl_off(domain), u32::from(on));
                 0
             }
             MboxRequest::SetClock { domain, mhz } => {

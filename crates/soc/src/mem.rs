@@ -306,7 +306,12 @@ impl SharedMem {
     /// # Errors
     ///
     /// Returns [`MemError`] when out of bounds.
-    pub fn with_slice<R>(&self, pa: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R, MemError> {
+    pub fn with_slice<R>(
+        &self,
+        pa: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, MemError> {
         let g = self.inner.read();
         Ok(f(g.slice(pa, len)?))
     }
@@ -342,10 +347,7 @@ mod tests {
     #[test]
     fn out_of_range_is_an_error_not_a_panic() {
         let mut m = PhysMem::new(0x1000, PAGE_SIZE);
-        assert_eq!(
-            m.read_u32(0xfff),
-            Err(MemError { pa: 0xfff, len: 4 })
-        );
+        assert_eq!(m.read_u32(0xfff), Err(MemError { pa: 0xfff, len: 4 }));
         assert!(m.write(0x1000 + PAGE_SIZE as u64 - 2, &[0; 4]).is_err());
         // Address arithmetic near u64::MAX must not overflow.
         assert!(m.read_u32(u64::MAX - 1).is_err());

@@ -283,7 +283,10 @@ mod tests {
         shared.write32(Pmc::pwr_ctrl_off(PmcDomain::GpuCore), 1);
         clock.advance(SETTLE_DELAY);
         assert!(other.is_stable(PmcDomain::GpuCore));
-        assert_eq!(other.read32(Pmc::pwr_status_off(PmcDomain::GpuCore)), PWR_STATUS_ON);
+        assert_eq!(
+            other.read32(Pmc::pwr_status_off(PmcDomain::GpuCore)),
+            PWR_STATUS_ON
+        );
     }
 
     #[test]

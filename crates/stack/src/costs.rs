@@ -62,7 +62,10 @@ pub const STACK_PER_JOB_RSS: u64 = 512 * 1024;
 pub fn jit_cost(kind_key: &str) -> SimDuration {
     if kind_key.starts_with("conv") || kind_key.starts_with("im2col") {
         JIT_CONV
-    } else if kind_key.starts_with("fc") || kind_key.starts_with("matmul") || kind_key.starts_with("mm_") {
+    } else if kind_key.starts_with("fc")
+        || kind_key.starts_with("matmul")
+        || kind_key.starts_with("mm_")
+    {
         JIT_GEMM
     } else {
         JIT_SIMPLE

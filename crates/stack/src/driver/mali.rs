@@ -83,7 +83,9 @@ impl MaliDriver {
         }
         let deadline = machine.now() + SimDuration::from_millis(10);
         while machine.now() < deadline {
-            let core = machine.pmc().read32(Pmc::pwr_status_off(PmcDomain::GpuCore));
+            let core = machine
+                .pmc()
+                .read32(Pmc::pwr_status_off(PmcDomain::GpuCore));
             let mem = machine.pmc().read32(Pmc::pwr_status_off(PmcDomain::GpuMem));
             if core == PWR_STATUS_ON && mem == PWR_STATUS_ON {
                 break;
@@ -151,8 +153,16 @@ impl MaliDriver {
     }
 
     /// Hooked polling wait (`wait_for()` seam).
-    fn poll(&self, reg: u32, mask: u32, want: u32, timeout: SimDuration) -> Result<(), DriverError> {
-        let (val, polls) = self.machine.poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
+    fn poll(
+        &self,
+        reg: u32,
+        mask: u32,
+        want: u32,
+        timeout: SimDuration,
+    ) -> Result<(), DriverError> {
+        let (val, polls) = self
+            .machine
+            .poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
         if let Some(h) = &self.hooks {
             h.poll(reg, mask, want, polls, timeout);
         }
@@ -206,7 +216,8 @@ impl MaliDriver {
         if let Some(h) = &self.hooks {
             h.pgtable_set();
         }
-        self.machine.gpu_write32(r::AS0_TRANSTAB_LO, self.root_pa as u32);
+        self.machine
+            .gpu_write32(r::AS0_TRANSTAB_LO, self.root_pa as u32);
         self.machine
             .gpu_write32(r::AS0_TRANSTAB_HI, (self.root_pa >> 32) as u32);
         let mut cfg = r::TRANSCFG_ENABLE;
@@ -432,7 +443,9 @@ impl MaliDriver {
             let ctx = DumpCtx {
                 mem: self.machine.mem(),
                 regions: &regions,
-                root: JobRoot::MaliChain { head_va: self.last_head },
+                root: JobRoot::MaliChain {
+                    head_va: self.last_head,
+                },
             };
             h.post_job_complete(&ctx);
         }
@@ -580,7 +593,8 @@ mod tests {
         let mut drv = MaliDriver::probe(machine, None, true).unwrap();
         let chain = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
         let data = drv.alloc_region(1, RegionKind::Data).unwrap();
-        drv.write_gpu(data, &f32s(&[1., 2., 3., 10., 20., 30.])).unwrap();
+        drv.write_gpu(data, &f32s(&[1., 2., 3., 10., 20., 30.]))
+            .unwrap();
         let op = KernelOp::EltwiseAdd {
             a: data,
             b: data + 12,
@@ -593,7 +607,10 @@ mod tests {
             next_va: 0,
             shader_va: chain + 0x100,
             shader_len: blob.len() as u32,
-            cost: JobCost { flops: 3, bytes: 24 },
+            cost: JobCost {
+                flops: 3,
+                bytes: 24,
+            },
         };
         drv.mmap_write(chain, &header.encode()).unwrap();
         drv.mmap_write(chain + 0x100, &blob).unwrap();
@@ -614,13 +631,20 @@ mod tests {
             let mut drv = MaliDriver::probe(machine.clone(), None, sync).unwrap();
             let chain = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
             let data = drv.alloc_region(1, RegionKind::Data).unwrap();
-            let op = KernelOp::Fill { out: data, n: 4, value: 1.0 };
+            let op = KernelOp::Fill {
+                out: data,
+                n: 4,
+                value: 1.0,
+            };
             let blob = op.encode();
             let header = JobHeader {
                 next_va: 0,
                 shader_va: chain + 0x100,
                 shader_len: blob.len() as u32,
-                cost: JobCost { flops: 60_000_000, bytes: 0 },
+                cost: JobCost {
+                    flops: 60_000_000,
+                    bytes: 0,
+                },
             };
             drv.mmap_write(chain, &header.encode()).unwrap();
             drv.mmap_write(chain + 0x100, &blob).unwrap();

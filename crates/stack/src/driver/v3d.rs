@@ -56,7 +56,10 @@ impl V3dDriver {
     /// # Errors
     ///
     /// Fails on power/reset timeouts.
-    pub fn probe(machine: Machine, hooks: Option<Arc<dyn RecorderSink>>) -> Result<Self, DriverError> {
+    pub fn probe(
+        machine: Machine,
+        hooks: Option<Arc<dyn RecorderSink>>,
+    ) -> Result<Self, DriverError> {
         assert_eq!(
             machine.sku().family,
             GpuFamilyKind::V3d,
@@ -142,8 +145,16 @@ impl V3dDriver {
         self.machine.gpu_write32(reg, val);
     }
 
-    fn poll(&self, reg: u32, mask: u32, want: u32, timeout: SimDuration) -> Result<(), DriverError> {
-        let (val, polls) = self.machine.poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
+    fn poll(
+        &self,
+        reg: u32,
+        mask: u32,
+        want: u32,
+        timeout: SimDuration,
+    ) -> Result<(), DriverError> {
+        let (val, polls) = self
+            .machine
+            .poll_reg(reg, mask, want, POLL_INTERVAL, timeout);
         if let Some(h) = &self.hooks {
             h.poll(reg, mask, want, polls, timeout);
         }
@@ -165,7 +176,8 @@ impl V3dDriver {
         if let Some(h) = &self.hooks {
             h.pgtable_set();
         }
-        self.machine.gpu_write32(r::MMU_PT_BASE_LO, self.table_pa as u32);
+        self.machine
+            .gpu_write32(r::MMU_PT_BASE_LO, self.table_pa as u32);
         self.machine
             .gpu_write32(r::MMU_PT_BASE_HI, (self.table_pa >> 32) as u32);
         self.wr(r::MMU_CTRL, 1);
@@ -233,9 +245,11 @@ impl V3dDriver {
         {
             let mut frames = self.machine.frames().lock();
             for i in 0..region.pages {
-                if let Ok(Some(pa)) =
-                    pgtable::unmap_page(self.machine.mem(), self.table_pa, va + (i * PAGE_SIZE) as u64)
-                {
+                if let Ok(Some(pa)) = pgtable::unmap_page(
+                    self.machine.mem(),
+                    self.table_pa,
+                    va + (i * PAGE_SIZE) as u64,
+                ) {
                     let _ = frames.free(pa);
                 }
             }
@@ -292,7 +306,8 @@ impl V3dDriver {
     ///
     /// Returns job faults/timeouts.
     pub fn submit(&mut self, cl_va: u64, cl_len: u32) -> Result<(), DriverError> {
-        self.machine.advance(costs::IOCTL_ENTRY + costs::JOB_SUBMIT_CPU);
+        self.machine
+            .advance(costs::IOCTL_ENTRY + costs::JOB_SUBMIT_CPU);
         if let Some(h) = &self.hooks {
             let regions: Vec<RegionSnapshot> = self
                 .vaspace
@@ -396,7 +411,10 @@ impl V3dDriver {
         }
         for domain in [PmcDomain::GpuCore, PmcDomain::GpuMem] {
             let mut mbox = self.machine.mailbox().lock();
-            if mbox.submit(MboxRequest::SetPower { domain, on: false }).is_ok() {
+            if mbox
+                .submit(MboxRequest::SetPower { domain, on: false })
+                .is_ok()
+            {
                 loop {
                     match mbox.status() {
                         MboxStatus::Done => {
@@ -433,10 +451,22 @@ mod tests {
 
         let binv = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
         let data = drv.alloc_region(1, RegionKind::Data).unwrap();
-        let blob = KernelOp::Fill { out: data, n: 8, value: 2.5 }.encode();
+        let blob = KernelOp::Fill {
+            out: data,
+            n: 8,
+            value: 2.5,
+        }
+        .encode();
         drv.mmap_write(binv + 0x200, &blob).unwrap();
         let mut w = ClWriter::new();
-        w.run_shader(binv + 0x200, blob.len() as u32, JobCost { flops: 8, bytes: 32 });
+        w.run_shader(
+            binv + 0x200,
+            blob.len() as u32,
+            JobCost {
+                flops: 8,
+                bytes: 32,
+            },
+        );
         let cl = w.finish();
         drv.mmap_write(binv, &cl).unwrap();
         drv.submit(binv, cl.len() as u32).unwrap();

@@ -87,7 +87,10 @@ impl VaSpace {
     ///
     /// Returns [`DriverError::BadAddress`] when `va` is not a region base.
     pub fn remove(&mut self, va: u64) -> Result<Region, DriverError> {
-        let r = self.regions.remove(&va).ok_or(DriverError::BadAddress(va))?;
+        let r = self
+            .regions
+            .remove(&va)
+            .ok_or(DriverError::BadAddress(va))?;
         self.mapped_pages -= r.pages as u64;
         Ok(r)
     }
@@ -175,7 +178,9 @@ mod tests {
             va,
             pages,
             kind: RegionKind::Data,
-            pas: (0..pages).map(|i| first_pa + (i * PAGE_SIZE) as u64).collect(),
+            pas: (0..pages)
+                .map(|i| first_pa + (i * PAGE_SIZE) as u64)
+                .collect(),
             pte_flags: vec![0xB; pages],
         }
     }

@@ -160,8 +160,10 @@ mod tests {
     fn dumpctx_reads_across_region_pages() {
         let mem = SharedMem::new(PhysMem::new(0, 8 * PAGE_SIZE));
         // Region: VA 0x10000, 2 pages, physically at pages 3 and 5 (discontiguous).
-        mem.write(3 * PAGE_SIZE as u64, b"tail-of-page-one").unwrap();
-        mem.write(5 * PAGE_SIZE as u64, b"head-of-page-two").unwrap();
+        mem.write(3 * PAGE_SIZE as u64, b"tail-of-page-one")
+            .unwrap();
+        mem.write(5 * PAGE_SIZE as u64, b"head-of-page-two")
+            .unwrap();
         let region = RegionSnapshot {
             va: 0x10000,
             pages: 2,
@@ -178,9 +180,7 @@ mod tests {
         assert_eq!(ctx.read_va(0x10000, 4).unwrap(), b"tail");
         assert_eq!(ctx.read_va(0x10000 + PAGE_SIZE as u64, 4).unwrap(), b"head");
         // Cross-page read stitches the two frames.
-        let cross = ctx
-            .read_va(0x10000 + PAGE_SIZE as u64 - 2, 6)
-            .unwrap();
+        let cross = ctx.read_va(0x10000 + PAGE_SIZE as u64 - 2, 6).unwrap();
         assert_eq!(&cross[2..], b"head");
         // Unmapped VA yields None.
         assert!(ctx.read_va(0x50000, 4).is_none());

@@ -109,7 +109,9 @@ impl GpuRuntime {
         let rss = MemAccount::new();
         rss.alloc(48 * 1024 * 1024); // the runtime .so itself
         let mut driver = match machine.sku().family {
-            GpuFamilyKind::Mali => DriverHandle::Mali(MaliDriver::probe(machine.clone(), hooks, sync)?),
+            GpuFamilyKind::Mali => {
+                DriverHandle::Mali(MaliDriver::probe(machine.clone(), hooks, sync)?)
+            }
             GpuFamilyKind::V3d => DriverHandle::V3d(V3dDriver::probe(machine.clone(), hooks)?),
         };
         let arena_va = match &mut driver {
@@ -189,7 +191,12 @@ impl GpuRuntime {
     /// # Errors
     ///
     /// Fails on bad offsets.
-    pub fn write_buffer(&self, buf: &Buffer, offset: usize, data: &[u8]) -> Result<(), DriverError> {
+    pub fn write_buffer(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), DriverError> {
         if offset + data.len() > buf.len.div_ceil(PAGE_SIZE) * PAGE_SIZE {
             return Err(DriverError::BadAddress(buf.va + offset as u64));
         }
@@ -204,7 +211,12 @@ impl GpuRuntime {
     /// # Errors
     ///
     /// Fails on bad offsets.
-    pub fn read_buffer(&self, buf: &Buffer, offset: usize, out: &mut [u8]) -> Result<(), DriverError> {
+    pub fn read_buffer(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        out: &mut [u8],
+    ) -> Result<(), DriverError> {
         match &self.driver {
             DriverHandle::Mali(d) => d.read_gpu(buf.va + offset as u64, out),
             DriverHandle::V3d(d) => d.read_gpu(buf.va + offset as u64, out),
@@ -253,7 +265,8 @@ impl GpuRuntime {
         let blob = k.op.encode();
         match &mut self.driver {
             DriverHandle::Mali(_) => {
-                let hdr_va = self.arena_take(gr_gpu::mali::jobs::JOB_HEADER_SIZE + blob.len() + 64)?;
+                let hdr_va =
+                    self.arena_take(gr_gpu::mali::jobs::JOB_HEADER_SIZE + blob.len() + 64)?;
                 let shader_va = hdr_va + gr_gpu::mali::jobs::JOB_HEADER_SIZE as u64;
                 let header = JobHeader {
                     next_va: 0,
@@ -344,8 +357,17 @@ mod tests {
         rt.write_buffer(&a, 0, &f32s(&[1., 2., 3.])).unwrap();
         rt.write_buffer(&b, 0, &f32s(&[4., 5., 6.])).unwrap();
         rt.launch(&KernelLaunch {
-            op: KernelOp::EltwiseAdd { a: a.va, b: b.va, out: out.va, n: 3, act: ActKind::None },
-            cost: JobCost { flops: 3, bytes: 36 },
+            op: KernelOp::EltwiseAdd {
+                a: a.va,
+                b: b.va,
+                out: out.va,
+                n: 3,
+                act: ActKind::None,
+            },
+            cost: JobCost {
+                flops: 3,
+                bytes: 36,
+            },
             kind_key: "eltadd/3".into(),
             label: "vecadd".into(),
         })
@@ -370,8 +392,15 @@ mod tests {
         let mut rt = GpuRuntime::create(machine.clone(), true, None).unwrap();
         let buf = rt.alloc_buffer(16, BufferKind::Data).unwrap();
         let launch = KernelLaunch {
-            op: KernelOp::Fill { out: buf.va, n: 4, value: 0.0 },
-            cost: JobCost { flops: 4, bytes: 16 },
+            op: KernelOp::Fill {
+                out: buf.va,
+                n: 4,
+                value: 0.0,
+            },
+            cost: JobCost {
+                flops: 4,
+                bytes: 16,
+            },
             kind_key: "fill/4".into(),
             label: "fill".into(),
         };
@@ -396,8 +425,15 @@ mod tests {
         // Enough launches to wrap the 256 KiB arena several times.
         for i in 0..3000 {
             rt.launch(&KernelLaunch {
-                op: KernelOp::Fill { out: buf.va, n: 4, value: i as f32 },
-                cost: JobCost { flops: 4, bytes: 16 },
+                op: KernelOp::Fill {
+                    out: buf.va,
+                    n: 4,
+                    value: i as f32,
+                },
+                cost: JobCost {
+                    flops: 4,
+                    bytes: 16,
+                },
                 kind_key: "fill/4".into(),
                 label: format!("fill{i}"),
             })
@@ -414,7 +450,11 @@ mod tests {
         let machine = Machine::new(&MALI_G71, 1);
         let rt = GpuRuntime::create(machine, true, None).unwrap();
         // §7.3 regime: the full stack occupies hundreds of MB.
-        assert!(rt.total_rss() > 200 * 1024 * 1024, "rss = {}", rt.total_rss());
+        assert!(
+            rt.total_rss() > 200 * 1024 * 1024,
+            "rss = {}",
+            rt.total_rss()
+        );
         rt.release();
     }
 }

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rng = SimRng::seed_from(41);
     let img: Vec<f32> = (0..28 * 28).map(|_| rng.unit_f64() as f32).collect();
-    let mut weights: Vec<Vec<u8>> = trec.initial_weights.iter().map(|(_, b)| b.clone()).collect();
+    let mut weights: Vec<Vec<u8>> = trec
+        .initial_weights
+        .iter()
+        .map(|(_, b)| b.clone())
+        .collect();
 
     let mut loss = f32::NAN;
     for iter in 0..6 {

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = vec![1.5f32; 1024];
     let b = vec![2.25f32; 1024];
 
-    let mut run = |rec: &Recording, label: &str| {
+    let run = |rec: &Recording, label: &str| {
         let target = Machine::new(&sku::MALI_G71, 32);
         let env = Environment::new(EnvKind::UserLevel, target).expect("env");
         let mut replayer = Replayer::new(env);
@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     run(&rec, "unpatched G31 recording on G71");
-    let partial = patch_recording(&rec, &sku::MALI_G31, &sku::MALI_G71, PatchOptions::without_affinity())?;
+    let partial = patch_recording(
+        &rec,
+        &sku::MALI_G31,
+        &sku::MALI_G71,
+        PatchOptions::without_affinity(),
+    )?;
     run(&partial, "patched (pgtable + MMU cfg)   ");
     let full = patch_recording(&rec, &sku::MALI_G31, &sku::MALI_G71, PatchOptions::full())?;
     run(&full, "patched (+ core affinity)     ");

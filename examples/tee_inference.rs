@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An attacker in the normal world ships a fabricated recording that
     // pokes an undefined register — the verifier rejects it statically.
-    let mut evil = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "evil"));
+    let mut evil = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "evil",
+    ));
     evil.actions.push(TimedAction::immediate(Action::RegWrite {
         reg: 0x2EE0,
         mask: u32::MAX,

@@ -1,0 +1,18 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (on `gr_sim` time
+//! newtypes) and never serializes through serde — the recording container has
+//! its own hand-rolled codec. This shim therefore provides the two names as
+//! marker traits plus a derive that emits empty impls, keeping the seed
+//! sources unchanged while building offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+///
+/// Lifetime-free (unlike upstream's `Deserialize<'de>`): nothing in the
+/// workspace names the trait with its lifetime parameter.
+pub trait Deserialize {}

@@ -1,0 +1,40 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Emits marker-trait impls for the `serde` shim's `Serialize`/`Deserialize`
+//! traits. Supports plain (non-generic) structs and enums, which is all the
+//! workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find type name in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

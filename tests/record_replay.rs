@@ -181,25 +181,35 @@ fn cross_sku_patching_g31_to_g71() {
     let b: Vec<f32> = random_input(512, 42);
     let expected: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
 
-    let run = |rec: &Recording| -> Result<(Vec<f32>, gr_sim::SimDuration), gr_replayer::ReplayError> {
-        let target = Machine::new(&sku::MALI_G71, 12);
-        let env = Environment::new(EnvKind::UserLevel, target).unwrap();
-        let mut replayer = Replayer::new(env);
-        let id = replayer.load(rec.clone())?;
-        let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &a);
-        io.set_input_f32(1, &b);
-        let report = replayer.replay(id, &mut io)?;
-        let out = io.output_f32(0);
-        replayer.cleanup();
-        Ok((out, report.wall))
-    };
+    let run =
+        |rec: &Recording| -> Result<(Vec<f32>, gr_sim::SimDuration), gr_replayer::ReplayError> {
+            let target = Machine::new(&sku::MALI_G71, 12);
+            let env = Environment::new(EnvKind::UserLevel, target).unwrap();
+            let mut replayer = Replayer::new(env);
+            let id = replayer.load(rec.clone())?;
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, &a);
+            io.set_input_f32(1, &b);
+            let report = replayer.replay(id, &mut io)?;
+            let out = io.output_f32(0);
+            replayer.cleanup();
+            Ok((out, report.wall))
+        };
 
     // Unpatched: must fail (wrong GPU id expectation / PTE layout).
-    assert!(run(&rec).is_err(), "unpatched G31 recording must not replay on G71");
+    assert!(
+        run(&rec).is_err(),
+        "unpatched G31 recording must not replay on G71"
+    );
 
     // Pgtable+MMU patch: correct results, reduced speed (1 core).
-    let partial = patch_recording(&rec, &sku::MALI_G31, &sku::MALI_G71, PatchOptions::without_affinity()).unwrap();
+    let partial = patch_recording(
+        &rec,
+        &sku::MALI_G31,
+        &sku::MALI_G71,
+        PatchOptions::without_affinity(),
+    )
+    .unwrap();
     let (out1, t1) = run(&partial).unwrap();
     assert_eq!(out1, expected);
 
@@ -232,7 +242,11 @@ fn training_iteration_replays_and_learns() {
     let img = random_input(28 * 28, 55);
     let label = 3.0f32;
     // Weights start from the recorded initialization.
-    let mut w: Vec<Vec<u8>> = trec.initial_weights.iter().map(|(_, b)| b.clone()).collect();
+    let mut w: Vec<Vec<u8>> = trec
+        .initial_weights
+        .iter()
+        .map(|(_, b)| b.clone())
+        .collect();
 
     let loss_of = |probs: &[f32]| -> f32 { -(probs[3].max(1e-12)).ln() };
     let mut first_loss = None;
@@ -271,7 +285,12 @@ fn hostile_recordings_are_rejected() {
     let mut replayer = Replayer::new(env);
 
     // Illegal register access.
-    let mut evil = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "evil"));
+    let mut evil = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "evil",
+    ));
     evil.actions.push(TimedAction::immediate(Action::RegWrite {
         reg: 0x2FFC,
         mask: u32::MAX,
@@ -283,7 +302,12 @@ fn hostile_recordings_are_rejected() {
     ));
 
     // Memory-hungry recording rejected by the cap.
-    let mut hog = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "hog"));
+    let mut hog = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "hog",
+    ));
     hog.actions.push(TimedAction::immediate(Action::MapGpuMem {
         va: 0,
         pte_flags: vec![0xB; 100_000],
@@ -291,8 +315,14 @@ fn hostile_recordings_are_rejected() {
     assert!(replayer.load(hog).is_err());
 
     // Bit-flipped container fails integrity.
-    let mut ok = Recording::new(RecordingMeta::new("mali", "G71", sku::MALI_G71.gpu_id, "ok"));
-    ok.actions.push(TimedAction::immediate(Action::SetGpuPgtable));
+    let mut ok = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "ok",
+    ));
+    ok.actions
+        .push(TimedAction::immediate(Action::SetGpuPgtable));
     let mut bytes = ok.to_bytes();
     let n = bytes.len();
     bytes[n - 1] ^= 1;
