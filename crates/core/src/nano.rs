@@ -176,12 +176,16 @@ impl NanoDriver {
     }
 
     /// Writes `data` at GPU virtual address `va` (dump loads / input
-    /// injection).
+    /// injection). Holds the DRAM lock once across the whole transfer
+    /// instead of re-acquiring it per 4-KiB chunk.
     ///
     /// # Errors
     ///
     /// Fails when the range is unmapped.
     pub fn write_va(&self, va: u64, data: &[u8]) -> Result<(), ReplayError> {
+        // The guard is taken once for the whole transfer; the pre-fast-path
+        // baseline re-locks per chunk (kept for `bench_exec`'s baseline).
+        let mut g = gr_gpu::fastpath::enabled().then(|| self.machine.mem().write_guard());
         let mut done = 0usize;
         while done < data.len() {
             let cur = va + done as u64;
@@ -190,21 +194,24 @@ impl NanoDriver {
             let page = off / PAGE_SIZE;
             let chunk = (PAGE_SIZE - off % PAGE_SIZE).min(data.len() - done);
             let pa = region.pas[page] + (off % PAGE_SIZE) as u64;
-            self.machine
-                .mem()
-                .write(pa, &data[done..done + chunk])
-                .map_err(|_| ReplayError::OutOfMemory)?;
+            match &mut g {
+                Some(g) => g.write(pa, &data[done..done + chunk]),
+                None => self.machine.mem().write(pa, &data[done..done + chunk]),
+            }
+            .map_err(|_| ReplayError::OutOfMemory)?;
             done += chunk;
         }
         Ok(())
     }
 
     /// Reads `out.len()` bytes from `va` (output extraction, checkpoints).
+    /// Lock-amortized like [`NanoDriver::write_va`].
     ///
     /// # Errors
     ///
     /// Fails when the range is unmapped.
     pub fn read_va(&self, va: u64, out: &mut [u8]) -> Result<(), ReplayError> {
+        let g = gr_gpu::fastpath::enabled().then(|| self.machine.mem().read_guard());
         let len = out.len();
         let mut done = 0usize;
         while done < len {
@@ -214,10 +221,11 @@ impl NanoDriver {
             let page = off / PAGE_SIZE;
             let chunk = (PAGE_SIZE - off % PAGE_SIZE).min(len - done);
             let pa = region.pas[page] + (off % PAGE_SIZE) as u64;
-            self.machine
-                .mem()
-                .read(pa, &mut out[done..done + chunk])
-                .map_err(|_| ReplayError::OutOfMemory)?;
+            match &g {
+                Some(g) => g.read(pa, &mut out[done..done + chunk]),
+                None => self.machine.mem().read(pa, &mut out[done..done + chunk]),
+            }
+            .map_err(|_| ReplayError::OutOfMemory)?;
             done += chunk;
         }
         Ok(())

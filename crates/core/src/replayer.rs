@@ -410,15 +410,29 @@ impl Replayer {
                     let rec = &self.loaded[id].rec;
                     let dump = &rec.dumps[dump_idx as usize];
                     machine.advance(costs::xfer(dump.bytes.len() as u64, costs::UPLOAD_BW));
-                    let (va, bytes) = (dump.va, dump.bytes.clone());
-                    self.nano.write_va(va, &bytes)?;
+                    if gr_gpu::fastpath::enabled() {
+                        // Zero-copy: upload straight from the staged
+                        // recording instead of cloning megabytes of dump
+                        // per replay.
+                        self.nano.write_va(dump.va, &dump.bytes)?;
+                    } else {
+                        let (va, bytes) = (dump.va, dump.bytes.clone());
+                        self.nano.write_va(va, &bytes)?;
+                    }
                 }
                 Action::CopyToGpu { slot } => {
                     let rec = &self.loaded[id].rec;
                     let va = rec.inputs[slot as usize].va;
-                    let data = io.inputs[slot as usize].clone();
-                    machine.advance(costs::xfer(data.len() as u64, costs::UPLOAD_BW));
-                    self.nano.write_va(va, &data)?;
+                    machine.advance(costs::xfer(
+                        io.inputs[slot as usize].len() as u64,
+                        costs::UPLOAD_BW,
+                    ));
+                    if gr_gpu::fastpath::enabled() {
+                        self.nano.write_va(va, &io.inputs[slot as usize])?;
+                    } else {
+                        let data = io.inputs[slot as usize].clone();
+                        self.nano.write_va(va, &data)?;
+                    }
                 }
                 Action::CopyFromGpu { slot } => {
                     let rec = &self.loaded[id].rec;

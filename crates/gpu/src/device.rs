@@ -1,6 +1,8 @@
 //! The device-model contract shared by both GPU families, plus the
 //! VA-translating memory accessor their execution engines use.
 
+use std::collections::HashMap;
+
 use gr_sim::SimTime;
 use gr_soc::{SharedMem, PAGE_SIZE};
 
@@ -41,31 +43,223 @@ pub trait GpuDev: Send {
     fn jobs_completed(&self) -> u64;
 }
 
+/// Software TLB: caches `page_va → (page_pa, writable)` so the execution
+/// engine walks the in-DRAM page tables once per page instead of once per
+/// access.
+///
+/// Lifetime/invalidation rules (wired into both device models):
+///
+/// * flushed on soft reset and on MMU enable/disable or address-space
+///   switch (`AS0_COMMAND UPDATE` on Mali, `MMU_CTRL`/`MMU_PT_BASE` writes
+///   on v3d),
+/// * flushed on explicit TLB-shootdown commands (Mali `AS_CMD_FLUSH`),
+/// * the affected page is invalidated when fault injection corrupts a PTE
+///   in place, so §7.2 experiments still observe the fault even after the
+///   translation was cached.
+#[derive(Debug, Default)]
+pub struct SoftTlb {
+    entries: HashMap<u64, (u64, bool)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SoftTlb {
+    /// Creates an empty TLB.
+    pub fn new() -> Self {
+        SoftTlb::default()
+    }
+
+    /// Cached translation for `page_va`, counting hit/miss.
+    pub fn lookup(&mut self, page_va: u64) -> Option<(u64, bool)> {
+        match self.entries.get(&page_va) {
+            Some(&e) => {
+                self.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `page_va → (page_pa, writable)`.
+    pub fn insert(&mut self, page_va: u64, page_pa: u64, writable: bool) {
+        self.entries.insert(page_va, (page_pa, writable));
+    }
+
+    /// Drops the entry covering `va` (any alignment).
+    pub fn invalidate_page(&mut self, va: u64) {
+        self.entries.remove(&(va & !(PAGE_SIZE as u64 - 1)));
+    }
+
+    /// Drops every entry (MMU flush / address-space switch / reset).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to walk the page tables.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// One physically-contiguous piece of a virtually-contiguous transfer.
+#[derive(Clone, Copy)]
+struct Segment {
+    pa: u64,
+    off: usize,
+    len: usize,
+}
+
+fn resolve<F>(
+    tlb: &mut Option<&mut SoftTlb>,
+    translate: &mut F,
+    page_va: u64,
+) -> Option<(u64, bool)>
+where
+    F: FnMut(u64) -> Option<(u64, bool)>,
+{
+    if let Some(t) = tlb.as_deref_mut() {
+        if let Some(e) = t.lookup(page_va) {
+            return Some(e);
+        }
+    }
+    let (page_pa, writable) = translate(page_va)?;
+    if let Some(t) = tlb.as_deref_mut() {
+        t.insert(page_va, page_pa, writable);
+    }
+    Some((page_pa, writable))
+}
+
 /// [`VaMem`] implementation that routes byte accesses through a page-wise
 /// translation function.
 ///
 /// `translate(page_va) -> Option<(page_pa, writable)>`; `None` faults.
+///
+/// The accessor translates the whole span first (served from the
+/// [`SoftTlb`] when one is attached), then performs the copy under a
+/// single [`SharedMem`] guard instead of re-locking per 4-KiB chunk.
 pub struct TranslatingVaMem<'a, F> {
     mem: &'a SharedMem,
     translate: F,
+    tlb: Option<&'a mut SoftTlb>,
+    legacy: bool,
+    segs: Vec<Segment>,
 }
 
 impl<'a, F> TranslatingVaMem<'a, F>
 where
     F: FnMut(u64) -> Option<(u64, bool)>,
 {
-    /// Creates an accessor over `mem` using `translate`.
+    /// Creates an accessor over `mem` using `translate` on every page
+    /// (no TLB; transfers still lock-amortized).
     pub fn new(mem: &'a SharedMem, translate: F) -> Self {
-        TranslatingVaMem { mem, translate }
+        TranslatingVaMem {
+            mem,
+            translate,
+            tlb: None,
+            legacy: false,
+            segs: Vec::new(),
+        }
     }
-}
 
-impl<F> VaMem for TranslatingVaMem<'_, F>
-where
-    F: FnMut(u64) -> Option<(u64, bool)>,
-{
-    fn read_bytes(&mut self, va: u64, len: usize) -> Result<Vec<u8>, u64> {
-        let mut out = vec![0u8; len];
+    /// Creates an accessor whose page translations are cached in `tlb`.
+    pub fn with_tlb(mem: &'a SharedMem, translate: F, tlb: &'a mut SoftTlb) -> Self {
+        TranslatingVaMem {
+            mem,
+            translate,
+            tlb: Some(tlb),
+            legacy: false,
+            segs: Vec::new(),
+        }
+    }
+
+    /// Creates an accessor that reproduces the pre-fast-path behaviour
+    /// exactly: translate every page on every access and take the DRAM
+    /// lock per 4-KiB chunk. Used as the measured baseline by
+    /// `bench_exec` when [`crate::fastpath`] is disabled.
+    pub fn legacy(mem: &'a SharedMem, translate: F) -> Self {
+        TranslatingVaMem {
+            mem,
+            translate,
+            tlb: None,
+            legacy: true,
+            segs: Vec::new(),
+        }
+    }
+
+    /// Translates `[va, va+len)` into `self.segs`. `for_write` additionally
+    /// demands the writable permission. Returns the faulting VA on error.
+    fn plan(&mut self, va: u64, len: usize, for_write: bool) -> Result<(), u64> {
+        self.segs.clear();
+        let mut done = 0usize;
+        while done < len {
+            let cur_va = va + done as u64;
+            let page_va = cur_va & !(PAGE_SIZE as u64 - 1);
+            let in_page = (PAGE_SIZE as u64 - (cur_va - page_va)) as usize;
+            let chunk = in_page.min(len - done);
+            let (page_pa, writable) =
+                resolve(&mut self.tlb, &mut self.translate, page_va).ok_or(cur_va)?;
+            if for_write && !writable {
+                return Err(cur_va);
+            }
+            self.segs.push(Segment {
+                pa: page_pa + (cur_va - page_va),
+                off: done,
+                len: chunk,
+            });
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads `out.len()` bytes at `va` without allocating.
+    fn read_into(&mut self, va: u64, out: &mut [u8]) -> Result<(), u64> {
+        if self.legacy {
+            return self.legacy_read_into(va, out);
+        }
+        self.plan(va, out.len(), false)?;
+        let g = self.mem.read_guard();
+        for s in &self.segs {
+            g.read(s.pa, &mut out[s.off..s.off + s.len])
+                .map_err(|_| va + s.off as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `va` without allocating.
+    fn write_from(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
+        if self.legacy {
+            return self.legacy_write_from(va, data);
+        }
+        self.plan(va, data.len(), true)?;
+        let mut g = self.mem.write_guard();
+        for s in &self.segs {
+            g.write(s.pa, &data[s.off..s.off + s.len])
+                .map_err(|_| va + s.off as u64)?;
+        }
+        Ok(())
+    }
+
+    /// The original chunk-at-a-time path: walk, lock, copy, repeat.
+    fn legacy_read_into(&mut self, va: u64, out: &mut [u8]) -> Result<(), u64> {
+        let len = out.len();
         let mut done = 0usize;
         while done < len {
             let cur_va = va + done as u64;
@@ -79,10 +273,10 @@ where
                 .map_err(|_| cur_va)?;
             done += chunk;
         }
-        Ok(out)
+        Ok(())
     }
 
-    fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
+    fn legacy_write_from(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
         let mut done = 0usize;
         while done < data.len() {
             let cur_va = va + done as u64;
@@ -98,6 +292,94 @@ where
                 .write(pa, &data[done..done + chunk])
                 .map_err(|_| cur_va)?;
             done += chunk;
+        }
+        Ok(())
+    }
+}
+
+impl<F> VaMem for TranslatingVaMem<'_, F>
+where
+    F: FnMut(u64) -> Option<(u64, bool)>,
+{
+    fn read_bytes(&mut self, va: u64, len: usize) -> Result<Vec<u8>, u64> {
+        let mut out = vec![0u8; len];
+        self.read_into(va, &mut out)?;
+        Ok(out)
+    }
+
+    fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64> {
+        self.write_from(va, data)
+    }
+
+    fn read_f32s_into(&mut self, va: u64, n: usize, out: &mut Vec<f32>) -> Result<(), u64> {
+        if self.legacy {
+            // Pre-fast-path behaviour: allocate a fresh staging vector.
+            let bytes = self.read_bytes(va, n * 4)?;
+            out.clear();
+            out.extend(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))),
+            );
+            return Ok(());
+        }
+        // Zero-copy: decode straight out of guarded DRAM into the caller's
+        // f32 buffer — no byte staging pass at all. f32s that straddle a
+        // page boundary are stitched through a 4-byte carry.
+        self.plan(va, n * 4, false)?;
+        let g = self.mem.read_guard();
+        out.clear();
+        out.reserve(n);
+        let mut carry = [0u8; 4];
+        let mut carry_len = 0usize;
+        for s in &self.segs {
+            let mut sl = g.slice(s.pa, s.len).map_err(|_| va + s.off as u64)?;
+            if carry_len > 0 {
+                // Segments after the first are page-sized and the total is
+                // n*4, so the carry always fills to a whole f32 here.
+                let take = 4 - carry_len;
+                carry[carry_len..].copy_from_slice(&sl[..take]);
+                out.push(f32::from_le_bytes(carry));
+                sl = &sl[take..];
+            }
+            let whole = sl.len() & !3;
+            out.extend(
+                sl[..whole]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))),
+            );
+            let rem = &sl[whole..];
+            carry[..rem.len()].copy_from_slice(rem);
+            carry_len = rem.len();
+        }
+        assert_eq!(carry_len, 0, "n*4 bytes always drain the carry");
+        Ok(())
+    }
+
+    fn write_f32s(&mut self, va: u64, vals: &[f32]) -> Result<(), u64> {
+        if self.legacy {
+            let mut bytes = Vec::with_capacity(vals.len() * 4);
+            for v in vals {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            return self.write_bytes(va, &bytes);
+        }
+        // Zero-copy: encode straight into guarded DRAM.
+        self.plan(va, vals.len() * 4, true)?;
+        let mut g = self.mem.write_guard();
+        for s in &self.segs {
+            let dst = g.slice_mut(s.pa, s.len).map_err(|_| va + s.off as u64)?;
+            if s.off % 4 == 0 && s.len % 4 == 0 {
+                for (c, v) in dst.chunks_exact_mut(4).zip(&vals[s.off / 4..]) {
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            } else {
+                // An f32 straddles this segment's edge: byte-wise fallback.
+                for (i, b) in dst.iter_mut().enumerate() {
+                    let byte = s.off + i;
+                    *b = vals[byte / 4].to_le_bytes()[byte % 4];
+                }
+            }
         }
         Ok(())
     }
@@ -156,5 +438,83 @@ mod tests {
         let mut vm = TranslatingVaMem::new(&mem, |page_va| Some((page_va, false)));
         assert_eq!(vm.write_bytes(16, &[1, 2, 3]), Err(16));
         assert!(vm.read_bytes(16, 3).is_ok(), "reads still allowed");
+    }
+
+    #[test]
+    fn tlb_caches_translations_and_counts() {
+        let mem = SharedMem::new(PhysMem::new(0, 8 * PAGE_SIZE));
+        let mut tlb = SoftTlb::new();
+        let mut walks = 0usize;
+        {
+            let mut vm = TranslatingVaMem::with_tlb(
+                &mem,
+                |page_va| {
+                    walks += 1;
+                    Some((page_va, true))
+                },
+                &mut tlb,
+            );
+            for _ in 0..10 {
+                vm.write_bytes(100, &[1, 2, 3]).unwrap();
+                assert_eq!(vm.read_bytes(100, 3).unwrap(), vec![1, 2, 3]);
+            }
+        }
+        assert_eq!(walks, 1, "page 0 walked exactly once");
+        assert_eq!(tlb.misses(), 1);
+        assert_eq!(tlb.hits(), 19);
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn tlb_invalidation_forces_rewalk() {
+        let mem = SharedMem::new(PhysMem::new(0, 8 * PAGE_SIZE));
+        let mut tlb = SoftTlb::new();
+        // Remappable translation: page 0 goes wherever `target` points.
+        let target = std::cell::Cell::new(PAGE_SIZE as u64);
+        {
+            let mut vm =
+                TranslatingVaMem::with_tlb(&mem, |page_va| Some((target.get() + page_va, true)), {
+                    &mut tlb
+                });
+            vm.write_bytes(0, &[7]).unwrap();
+        }
+        assert_eq!(mem.read_vec(PAGE_SIZE as u64, 1).unwrap(), vec![7]);
+        // Remap without invalidating: the stale entry still wins.
+        target.set(2 * PAGE_SIZE as u64);
+        {
+            let mut vm = TranslatingVaMem::with_tlb(
+                &mem,
+                |page_va| Some((target.get() + page_va, true)),
+                &mut tlb,
+            );
+            vm.write_bytes(0, &[8]).unwrap();
+        }
+        assert_eq!(mem.read_vec(PAGE_SIZE as u64, 1).unwrap(), vec![8]);
+        // Invalidate: the next access walks and sees the new target.
+        tlb.invalidate_page(5);
+        {
+            let mut vm = TranslatingVaMem::with_tlb(
+                &mem,
+                |page_va| Some((target.get() + page_va, true)),
+                &mut tlb,
+            );
+            vm.write_bytes(0, &[9]).unwrap();
+        }
+        assert_eq!(mem.read_vec(2 * PAGE_SIZE as u64, 1).unwrap(), vec![9]);
+        tlb.flush();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn f32_helpers_round_trip_without_alloc_paths() {
+        let mem = SharedMem::new(PhysMem::new(0, 8 * PAGE_SIZE));
+        let mut vm = TranslatingVaMem::new(&mem, |page_va| Some((page_va, true)));
+        let vals = [1.5f32, -2.25, 1e-8, f32::MAX];
+        // Straddle a page boundary on purpose.
+        let va = PAGE_SIZE as u64 - 6;
+        vm.write_f32s(va, &vals).unwrap();
+        let mut back = Vec::new();
+        vm.read_f32s_into(va, vals.len(), &mut back).unwrap();
+        assert_eq!(back, vals);
     }
 }

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod device;
+pub mod fastpath;
 pub mod faults;
 pub mod machine;
 pub mod mali;
@@ -36,7 +37,7 @@ pub mod timing;
 pub mod v3d;
 pub mod vm;
 
-pub use device::{GpuDev, TranslatingVaMem};
+pub use device::{GpuDev, SoftTlb, TranslatingVaMem};
 pub use faults::FaultKind;
 pub use machine::{Machine, WaitOutcome, DEFAULT_DRAM_SIZE, DRAM_BASE};
 pub use sku::{GpuFamilyKind, GpuSku, PteFormat};

@@ -10,14 +10,16 @@
 use gr_sim::{EventQueue, SimClock, SimRng, SimTime};
 use gr_soc::{IrqController, SharedMem, SharedPmc};
 
-use crate::device::{GpuDev, TranslatingVaMem};
+use crate::device::{GpuDev, SoftTlb, TranslatingVaMem};
+use crate::fastpath;
 use crate::faults::FaultKind;
 use crate::mali::jobs::{JobHeader, JOB_HEADER_SIZE, MAX_CHAIN_LEN};
 use crate::mali::pgtable;
 use crate::mali::regs::{self as r, irq_lines};
 use crate::sku::GpuSku;
 use crate::timing::{self, JobCost};
-use crate::vm::exec::{execute_blob, ExecError};
+use crate::vm::bytecode::KernelOp;
+use crate::vm::exec::{execute_with, ExecError, ExecScratch};
 use gr_soc::pmc::PmcDomain;
 
 /// Completion events on the device timeline.
@@ -38,6 +40,13 @@ struct RunningJob {
 struct QueuedJob {
     head_va: u64,
     affinity: u32,
+}
+
+/// Chain parsed and shaders decoded at submit time, so completion does
+/// not re-fetch and re-decode the same (hardware-owned) job memory.
+struct CachedChain {
+    head_va: u64,
+    ops: Vec<KernelOp>,
 }
 
 /// The Mali-like device. One job slot (double-buffered), one address space.
@@ -85,6 +94,10 @@ pub struct MaliGpu {
     job_fault_pending: bool,
     glitch_armed: bool,
     jobs_completed: u64,
+
+    tlb: SoftTlb,
+    scratch: ExecScratch,
+    cached_chain: Option<CachedChain>,
 }
 
 impl std::fmt::Debug for MaliGpu {
@@ -149,6 +162,9 @@ impl MaliGpu {
             job_fault_pending: false,
             glitch_armed: false,
             jobs_completed: 0,
+            tlb: SoftTlb::new(),
+            scratch: ExecScratch::new(),
+            cached_chain: None,
         }
     }
 
@@ -311,6 +327,23 @@ impl MaliGpu {
             self.raise_job_fault();
             return;
         }
+        // Fast path: fetch + decode every shader once at submit. Completion
+        // reuses the decoded ops instead of re-walking job memory. On any
+        // fetch/decode problem fall back to the completion-time path so
+        // fault timing is unchanged.
+        self.cached_chain = None;
+        if fastpath::enabled() {
+            let ops: Option<Vec<KernelOp>> = headers
+                .iter()
+                .map(|h| {
+                    let blob = self.fetch_binary(h.shader_va, h.shader_len as usize).ok()?;
+                    KernelOp::decode(&blob).ok()
+                })
+                .collect();
+            if let Some(ops) = ops {
+                self.cached_chain = Some(CachedChain { head_va, ops });
+            }
+        }
         self.running = Some(RunningJob { head_va, affinity });
         self.js_status = r::JS_STATUS_ACTIVE;
         let done_at = self.clock.now() + dur;
@@ -318,29 +351,50 @@ impl MaliGpu {
     }
 
     fn execute_chain_now(&mut self, head_va: u64) -> Result<(), ChainFault> {
+        fn to_fault(e: ExecError) -> ChainFault {
+            match e {
+                ExecError::MemFault { va } => ChainFault::Mmu {
+                    va,
+                    code: r::AS_FAULT_TRANSLATION,
+                },
+                _ => ChainFault::BadJob,
+            }
+        }
+        let transtab = self.transtab_active;
+        let fmt = self.sku.pte_format;
+        let enabled = self.mmu_enabled();
+        let mem = self.mem.clone();
+        let translate = |page_va: u64| {
+            if !enabled {
+                return None;
+            }
+            pgtable::translate(&mem, fmt, transtab, page_va).map(|(pa, fl)| (pa, fl.write))
+        };
+        // Decoded ops cached at submit (one per sub-job). The cache is
+        // only populated when every blob decoded, so using it cannot skip
+        // a fetch/decode fault the slow path would have raised.
+        if let Some(c) = self.cached_chain.take() {
+            if c.head_va == head_va && fastpath::enabled() {
+                let mut vamem = TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb);
+                for op in &c.ops {
+                    execute_with(op, &mut vamem, &mut self.scratch).map_err(to_fault)?;
+                }
+                return Ok(());
+            }
+        }
+        // Slow path: fetch/decode/execute one sub-job at a time, exactly
+        // like the pre-fast-path code, so partial execution and fault
+        // ordering for mixed-validity chains are unchanged.
         let headers = self.parse_chain(head_va)?;
         for h in headers {
             let blob = self.fetch_binary(h.shader_va, h.shader_len as usize)?;
-            let transtab = self.transtab_active;
-            let fmt = self.sku.pte_format;
-            let enabled = self.mmu_enabled();
-            let mem = self.mem.clone();
-            let mut vamem = TranslatingVaMem::new(&mem, |page_va| {
-                if !enabled {
-                    return None;
-                }
-                pgtable::translate(&mem, fmt, transtab, page_va).map(|(pa, fl)| (pa, fl.write))
-            });
-            match execute_blob(&blob, &mut vamem) {
-                Ok(()) => {}
-                Err(ExecError::MemFault { va }) => {
-                    return Err(ChainFault::Mmu {
-                        va,
-                        code: r::AS_FAULT_TRANSLATION,
-                    })
-                }
-                Err(_) => return Err(ChainFault::BadJob),
-            }
+            let op = KernelOp::decode(&blob).map_err(|_| ChainFault::BadJob)?;
+            let mut vamem = if fastpath::enabled() {
+                TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb)
+            } else {
+                TranslatingVaMem::legacy(&mem, translate)
+            };
+            execute_with(&op, &mut vamem, &mut self.scratch).map_err(to_fault)?;
         }
         Ok(())
     }
@@ -403,6 +457,8 @@ impl MaliGpu {
         self.transcfg_staged = 0;
         self.shader_pwron = 0;
         self.flushing = 0;
+        self.tlb.flush();
+        self.cached_chain = None;
         self.resetting = true;
         self.update_irq_lines();
         self.events
@@ -508,8 +564,16 @@ impl GpuDev for MaliGpu {
             r::AS0_COMMAND if val == r::AS_CMD_UPDATE => {
                 self.transtab_active = self.transtab_staged;
                 self.transcfg_active = self.transcfg_staged;
+                // Address-space switch: cached translations and shaders
+                // decoded under the old translation are both stale.
+                self.tlb.flush();
+                self.cached_chain = None;
             }
             // AS_CMD_FLUSH: TLB shootdown, instantaneous in the model.
+            r::AS0_COMMAND if val == r::AS_CMD_FLUSH => {
+                self.tlb.flush();
+                self.cached_chain = None;
+            }
             r::JOB_IRQ_CLEAR => {
                 self.job_rawstat &= !val;
                 self.update_irq_lines();
@@ -529,6 +593,7 @@ impl GpuDev for MaliGpu {
                     self.events.clear();
                     self.running = None;
                     self.queued = None;
+                    self.cached_chain = None;
                     self.js_status = r::JS_STATUS_IDLE;
                 }
                 _ => {}
@@ -605,6 +670,10 @@ impl GpuDev for MaliGpu {
                         let _ = self.mem.write_u64(pte_pa, pte & !1);
                     }
                 }
+                // The corruption must be observed even if the translation
+                // (or the decoded job touching it) was already cached.
+                self.tlb.invalidate_page(va);
+                self.cached_chain = None;
             }
         }
     }
@@ -1011,6 +1080,34 @@ mod tests {
         let raw = submit_and_wait(&mut rg);
         assert_eq!(raw & r::JOB_IRQ_DONE0, r::JOB_IRQ_DONE0);
         assert_eq!(peek_f32s(&rg, DATA_VA + 24, 3), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn corrupt_pte_still_observed_after_tlb_warmup() {
+        let mut rg = rig(&MALI_G71);
+        vecadd_setup(&mut rg);
+        // Warm-up: one successful run caches DATA_VA's translation in the
+        // device TLB (and the decoded chain at the next submit).
+        let raw = submit_and_wait(&mut rg);
+        assert_eq!(raw & r::JOB_IRQ_DONE0, r::JOB_IRQ_DONE0);
+        rg.gpu.write32(r::JOB_IRQ_CLEAR, 0xFFFF_FFFF);
+        // Resubmit the same chain, then corrupt the PTE mid-flight: the
+        // cached translation must not mask the fault.
+        rg.gpu.write32(r::JS0_HEAD_LO, CHAIN_VA as u32);
+        rg.gpu.write32(r::JS0_AFFINITY, 0xFF);
+        rg.gpu.write32(r::JS0_COMMAND, r::JS_CMD_START);
+        rg.gpu.inject_fault(FaultKind::CorruptPte { va: DATA_VA });
+        let t = rg.gpu.next_event_time().unwrap();
+        rg.clock.advance_to(t);
+        rg.gpu.tick();
+        assert_eq!(
+            rg.gpu.read32(r::JOB_IRQ_RAWSTAT) & r::JOB_IRQ_FAIL0,
+            r::JOB_IRQ_FAIL0,
+            "warm TLB must not hide a corrupted PTE"
+        );
+        assert_eq!(rg.gpu.read32(r::AS0_FAULTSTATUS), r::AS_FAULT_TRANSLATION);
+        let fault_va = u64::from(rg.gpu.read32(r::AS0_FAULTADDR_LO));
+        assert_eq!(fault_va & !(PAGE_SIZE as u64 - 1), DATA_VA);
     }
 
     #[test]

@@ -9,14 +9,16 @@ use gr_sim::{EventQueue, SimClock, SimDuration, SimRng, SimTime};
 use gr_soc::pmc::PmcDomain;
 use gr_soc::{IrqController, SharedMem, SharedPmc};
 
-use crate::device::{GpuDev, TranslatingVaMem};
+use crate::device::{GpuDev, SoftTlb, TranslatingVaMem};
+use crate::fastpath;
 use crate::faults::FaultKind;
 use crate::sku::GpuSku;
 use crate::timing::{self, JobCost};
 use crate::v3d::cl::{self, ClPacket, MAX_BRANCH_DEPTH};
 use crate::v3d::pgtable;
 use crate::v3d::regs::{self as r, irq_lines};
-use crate::vm::exec::{execute_blob, ExecError};
+use crate::vm::bytecode::KernelOp;
+use crate::vm::exec::{execute_blob, execute_with, ExecError, ExecScratch};
 
 /// Completion events on the device timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,14 @@ enum Event {
 enum ListFault {
     Mmu { va: u64 },
     BadList,
+}
+
+/// Control list walked and shaders decoded at submit time, reused at
+/// completion instead of re-fetching the same (hardware-owned) memory.
+struct CachedList {
+    ca: u64,
+    ea: u64,
+    ops: Vec<KernelOp>,
 }
 
 /// The v3d-like device.
@@ -58,6 +68,10 @@ pub struct V3dGpu {
     offline_fault_pending: bool,
     glitch_armed: bool,
     jobs_completed: u64,
+
+    tlb: SoftTlb,
+    scratch: ExecScratch,
+    cached_list: Option<CachedList>,
 }
 
 impl std::fmt::Debug for V3dGpu {
@@ -103,6 +117,9 @@ impl V3dGpu {
             offline_fault_pending: false,
             glitch_armed: false,
             jobs_completed: 0,
+            tlb: SoftTlb::new(),
+            scratch: ExecScratch::new(),
+            cached_list: None,
         }
     }
 
@@ -226,6 +243,26 @@ impl V3dGpu {
             return;
         }
         let d = timing::jittered(d, &mut self.rng) + timing::IRQ_LATENCY;
+        // Fast path: decode every shader once at submit; completion reuses
+        // the decoded ops. Any fetch/decode problem falls back to the
+        // completion-time path so fault timing is unchanged.
+        self.cached_list = None;
+        if fastpath::enabled() {
+            let ops: Option<Vec<KernelOp>> = shaders
+                .iter()
+                .map(|&(va, len, _)| {
+                    let blob = self.fetch(va, len as usize).ok()?;
+                    KernelOp::decode(&blob).ok()
+                })
+                .collect();
+            if let Some(ops) = ops {
+                self.cached_list = Some(CachedList {
+                    ca: self.ct0ca,
+                    ea: self.ct0ea,
+                    ops,
+                });
+            }
+        }
         self.running = true;
         self.err_stat = r::ERR_NONE;
         self.events.schedule(self.clock.now() + d, Event::List);
@@ -243,22 +280,60 @@ impl V3dGpu {
             self.update_irq_line();
             return;
         }
-        let len = self.ct0ea.saturating_sub(self.ct0ca) as u32;
-        let mut shaders = Vec::new();
-        match self.collect_shaders(self.ct0ca, len, 0, &mut shaders) {
-            Ok(()) => {}
-            Err(ListFault::Mmu { va }) => {
-                self.raise_mmu_fault(va);
-                return;
+        // Decoded ops cached at submit (only populated when every blob
+        // decoded), or the slow per-shader path below.
+        let cached: Option<Vec<KernelOp>> = match self.cached_list.take() {
+            Some(c) if c.ca == self.ct0ca && c.ea == self.ct0ea && fastpath::enabled() => {
+                Some(c.ops)
             }
-            Err(ListFault::BadList) => {
-                self.raise_error(r::ERR_BAD_CL);
-                return;
+            _ => None,
+        };
+        let pt = self.mmu_pt_base;
+        let enabled = self.mmu_ctrl & 1 != 0;
+        let mem = self.mem.clone();
+        let translate = |page_va: u64| {
+            if !enabled {
+                return None;
             }
-        }
-        for (va, len, _cost) in shaders {
-            let blob = match self.fetch(va, len as usize) {
-                Ok(b) => b,
+            pgtable::translate(&mem, pt, page_va).map(|(pa, fl)| (pa, fl.write))
+        };
+        if let Some(ops) = cached {
+            let mut failure = None;
+            {
+                let mut vamem = TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb);
+                for op in &ops {
+                    match execute_with(op, &mut vamem, &mut self.scratch) {
+                        Ok(()) => {}
+                        Err(ExecError::MemFault { va }) => {
+                            failure = Some(Ok(va));
+                            break;
+                        }
+                        Err(_) => {
+                            failure = Some(Err(()));
+                            break;
+                        }
+                    }
+                }
+            }
+            match failure {
+                Some(Ok(va)) => {
+                    self.raise_mmu_fault(va);
+                    return;
+                }
+                Some(Err(())) => {
+                    self.raise_error(r::ERR_BAD_CL);
+                    return;
+                }
+                None => {}
+            }
+        } else {
+            // Slow path: re-collect, then fetch/decode/execute one shader
+            // at a time — identical partial-execution and fault ordering
+            // to the pre-fast-path code.
+            let len = self.ct0ea.saturating_sub(self.ct0ca) as u32;
+            let mut shaders = Vec::new();
+            match self.collect_shaders(self.ct0ca, len, 0, &mut shaders) {
+                Ok(()) => {}
                 Err(ListFault::Mmu { va }) => {
                     self.raise_mmu_fault(va);
                     return;
@@ -267,25 +342,41 @@ impl V3dGpu {
                     self.raise_error(r::ERR_BAD_CL);
                     return;
                 }
-            };
-            let pt = self.mmu_pt_base;
-            let enabled = self.mmu_ctrl & 1 != 0;
-            let mem = self.mem.clone();
-            let mut vamem = TranslatingVaMem::new(&mem, |page_va| {
-                if !enabled {
-                    return None;
-                }
-                pgtable::translate(&mem, pt, page_va).map(|(pa, fl)| (pa, fl.write))
-            });
-            match execute_blob(&blob, &mut vamem) {
-                Ok(()) => {}
-                Err(ExecError::MemFault { va }) => {
-                    self.raise_mmu_fault(va);
-                    return;
-                }
-                Err(_) => {
-                    self.raise_error(r::ERR_BAD_CL);
-                    return;
+            }
+            for (va, len, _cost) in shaders {
+                let blob = match self.fetch(va, len as usize) {
+                    Ok(b) => b,
+                    Err(ListFault::Mmu { va }) => {
+                        self.raise_mmu_fault(va);
+                        return;
+                    }
+                    Err(ListFault::BadList) => {
+                        self.raise_error(r::ERR_BAD_CL);
+                        return;
+                    }
+                };
+                let failure = {
+                    let mut vamem = if fastpath::enabled() {
+                        TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb)
+                    } else {
+                        TranslatingVaMem::legacy(&mem, translate)
+                    };
+                    match execute_blob(&blob, &mut vamem) {
+                        Ok(()) => None,
+                        Err(ExecError::MemFault { va }) => Some(Ok(va)),
+                        Err(_) => Some(Err(())),
+                    }
+                };
+                match failure {
+                    Some(Ok(va)) => {
+                        self.raise_mmu_fault(va);
+                        return;
+                    }
+                    Some(Err(())) => {
+                        self.raise_error(r::ERR_BAD_CL);
+                        return;
+                    }
+                    None => {}
                 }
             }
         }
@@ -308,6 +399,8 @@ impl V3dGpu {
         self.ct0ca = 0;
         self.ct0ea = 0;
         self.offline_fault_pending = false;
+        self.tlb.flush();
+        self.cached_list = None;
         self.update_irq_line();
         self.events
             .schedule(self.clock.now() + timing::SOFT_RESET_DELAY, Event::Reset);
@@ -367,12 +460,22 @@ impl GpuDev for V3dGpu {
             }
             r::CT0EA_HI => self.ct0ea = (self.ct0ea & 0xFFFF_FFFF) | (u64::from(val) << 32),
             r::MMU_PT_BASE_LO => {
-                self.mmu_pt_base = (self.mmu_pt_base & !0xFFFF_FFFF) | u64::from(val)
+                self.mmu_pt_base = (self.mmu_pt_base & !0xFFFF_FFFF) | u64::from(val);
+                self.tlb.flush();
+                self.cached_list = None;
             }
             r::MMU_PT_BASE_HI => {
-                self.mmu_pt_base = (self.mmu_pt_base & 0xFFFF_FFFF) | (u64::from(val) << 32)
+                self.mmu_pt_base = (self.mmu_pt_base & 0xFFFF_FFFF) | (u64::from(val) << 32);
+                self.tlb.flush();
+                self.cached_list = None;
             }
-            r::MMU_CTRL => self.mmu_ctrl = val,
+            r::MMU_CTRL => {
+                // Enable/disable or reconfigure acts as a TLB shootdown;
+                // shaders decoded under the old translation are stale too.
+                self.mmu_ctrl = val;
+                self.tlb.flush();
+                self.cached_list = None;
+            }
             r::CTL_RESET if val & 1 != 0 => {
                 if self.power_stable() {
                     self.soft_reset();
@@ -424,6 +527,10 @@ impl GpuDev for V3dGpu {
                         let _ = self.mem.write_u32(pte_pa, pte & !1);
                     }
                 }
+                // The corruption must be observed even if the translation
+                // (or the decoded list touching it) was already cached.
+                self.tlb.invalidate_page(va);
+                self.cached_list = None;
             }
         }
     }
@@ -671,6 +778,51 @@ mod tests {
         rg.clock.advance_to(t);
         assert_eq!(rg.gpu.read32(r::CACHE_CLEAN), 0);
         assert_eq!(rg.gpu.read32(r::INT_STS), 0, "no interrupt for clean");
+    }
+
+    #[test]
+    fn corrupt_pte_still_observed_after_tlb_warmup() {
+        let mut rg = rig();
+        map(&mut rg, CL_VA, 1);
+        map(&mut rg, SH_VA, 1);
+        map(&mut rg, DATA_VA, 1);
+        let blob = KernelOp::Fill {
+            out: DATA_VA,
+            n: 1,
+            value: 2.0,
+        }
+        .encode();
+        poke(&rg, SH_VA, &blob);
+        let mut w = ClWriter::new();
+        w.run_shader(
+            SH_VA,
+            blob.len() as u32,
+            JobCost {
+                flops: 100,
+                bytes: 4,
+            },
+        );
+        let cl = w.finish();
+        poke(&rg, CL_VA, &cl);
+        // Warm-up run caches DATA_VA's translation.
+        let sts = submit_and_wait(&mut rg, cl.len());
+        assert_eq!(sts & r::INT_DONE, r::INT_DONE);
+        assert_eq!(peek_f32s(&rg, DATA_VA, 1), vec![2.0]);
+        rg.gpu.write32(r::INT_CLR, 0xFFFF_FFFF);
+        // Resubmit, corrupt mid-flight: the fault must still surface.
+        rg.gpu.write32(r::CT0CA_LO, CL_VA as u32);
+        rg.gpu
+            .write32(r::CT0EA_LO, (CL_VA as usize + cl.len()) as u32);
+        rg.gpu.inject_fault(FaultKind::CorruptPte { va: DATA_VA });
+        let t = rg.gpu.next_event_time().unwrap();
+        rg.clock.advance_to(t);
+        rg.gpu.tick();
+        assert_eq!(
+            rg.gpu.read32(r::INT_STS) & r::INT_MMU_FAULT,
+            r::INT_MMU_FAULT,
+            "warm TLB must not hide a corrupted PTE"
+        );
+        assert_eq!(u64::from(rg.gpu.read32(r::MMU_ADDR)), DATA_VA);
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! translation failure surfaces as [`ExecError::MemFault`], which the
 //! device turns into an MMU fault interrupt (the §7.2 fault-injection
 //! experiments corrupt PTEs to trigger exactly this path).
+//!
+//! The hot path threads an [`ExecScratch`] arena through execution so a
+//! replayed job reuses the same tensor staging buffers run after run
+//! instead of allocating fresh `Vec`s per access. Buffer reuse never
+//! changes values or f32 accumulation order: the kernels in
+//! [`super::kernels`] see exactly the slices they saw before (gated by
+//! `val72_correctness`).
 
 use std::fmt;
 
@@ -26,6 +33,39 @@ pub trait VaMem {
     ///
     /// Returns the faulting VA when translation or a physical access fails.
     fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), u64>;
+
+    /// Reads `n` little-endian f32s at `va` into `out` (cleared first).
+    ///
+    /// The default stages through [`VaMem::read_bytes`];
+    /// [`crate::device::TranslatingVaMem`] overrides it with an
+    /// allocation-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the faulting VA when translation or a physical access fails.
+    fn read_f32s_into(&mut self, va: u64, n: usize, out: &mut Vec<f32>) -> Result<(), u64> {
+        let bytes = self.read_bytes(va, n * 4)?;
+        out.clear();
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))),
+        );
+        Ok(())
+    }
+
+    /// Writes `vals` as little-endian f32s at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the faulting VA when translation or a physical access fails.
+    fn write_f32s(&mut self, va: u64, vals: &[f32]) -> Result<(), u64> {
+        let mut bytes = Vec::with_capacity(vals.len() * 4);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(va, &bytes)
+    }
 }
 
 /// Why kernel execution failed.
@@ -60,38 +100,59 @@ impl From<DecodeError> for ExecError {
     }
 }
 
-fn read_f32s<M: VaMem + ?Sized>(mem: &mut M, va: u64, n: usize) -> Result<Vec<f32>, ExecError> {
-    let bytes = mem
-        .read_bytes(va, n * 4)
-        .map_err(|va| ExecError::MemFault { va })?;
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-        .collect())
+/// Reusable tensor staging buffers threaded through [`execute_with`].
+///
+/// Owned by the device models and kept alive across jobs, so the replay
+/// hot loop stops allocating per kernel access. The three slots cover the
+/// widest op shape (two operands + bias); kernel *outputs* are produced by
+/// the bit-stable kernels themselves and are not pooled, keeping their
+/// accumulation order untouched.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
 }
 
-fn write_f32s<M: VaMem + ?Sized>(mem: &mut M, va: u64, vals: &[f32]) -> Result<(), ExecError> {
-    let mut bytes = Vec::with_capacity(vals.len() * 4);
-    for v in vals {
-        bytes.extend_from_slice(&v.to_le_bytes());
+impl ExecScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ExecScratch::default()
     }
-    mem.write_bytes(va, &bytes)
-        .map_err(|va| ExecError::MemFault { va })
 }
 
-fn opt_bias<M: VaMem + ?Sized>(
+fn load<M: VaMem + ?Sized>(
     mem: &mut M,
     va: u64,
     n: usize,
-) -> Result<Option<Vec<f32>>, ExecError> {
+    out: &mut Vec<f32>,
+) -> Result<(), ExecError> {
+    mem.read_f32s_into(va, n, out)
+        .map_err(|va| ExecError::MemFault { va })
+}
+
+fn store<M: VaMem + ?Sized>(mem: &mut M, va: u64, vals: &[f32]) -> Result<(), ExecError> {
+    mem.write_f32s(va, vals)
+        .map_err(|va| ExecError::MemFault { va })
+}
+
+/// Loads an optional bias vector (`va == 0` means "no bias") into `buf`.
+fn load_opt_bias<'s, M: VaMem + ?Sized>(
+    mem: &mut M,
+    va: u64,
+    n: usize,
+    buf: &'s mut Vec<f32>,
+) -> Result<Option<&'s [f32]>, ExecError> {
     if va == 0 {
         Ok(None)
     } else {
-        Ok(Some(read_f32s(mem, va, n)?))
+        load(mem, va, n, buf)?;
+        Ok(Some(buf.as_slice()))
     }
 }
 
-/// Runs one kernel op to completion against `mem`.
+/// Runs one kernel op to completion against `mem` with a throwaway
+/// scratch arena. Prefer [`execute_with`] on hot paths.
 ///
 /// # Errors
 ///
@@ -100,9 +161,28 @@ fn opt_bias<M: VaMem + ?Sized>(
 /// job failure and the replayer re-executes from a clean state, so partial
 /// writes are never observed by correct runs.
 pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), ExecError> {
+    execute_with(op, mem, &mut ExecScratch::new())
+}
+
+/// Runs one kernel op to completion against `mem`, staging tensors in
+/// `scratch` so repeated executions reuse buffers.
+///
+/// # Errors
+///
+/// See [`execute`].
+#[allow(clippy::too_many_lines)]
+pub fn execute_with<M: VaMem + ?Sized>(
+    op: &KernelOp,
+    mem: &mut M,
+    scratch: &mut ExecScratch,
+) -> Result<(), ExecError> {
     use KernelOp::*;
     match *op {
-        Fill { out, n, value } => write_f32s(mem, out, &vec![value; n as usize]),
+        Fill { out, n, value } => {
+            scratch.a.clear();
+            scratch.a.resize(n as usize, value);
+            store(mem, out, &scratch.a)
+        }
         CopyBytes { src, dst, len } => {
             let b = mem
                 .read_bytes(src, len as usize)
@@ -111,19 +191,16 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 .map_err(|va| ExecError::MemFault { va })
         }
         EltwiseAdd { a, b, out, n, act } => {
-            let av = read_f32s(mem, a, n as usize)?;
-            let bv = read_f32s(mem, b, n as usize)?;
-            let sum: Vec<f32> = av
-                .iter()
-                .zip(&bv)
-                .map(|(&x, &y)| k::apply_act(act, x + y))
-                .collect();
-            write_f32s(mem, out, &sum)
+            load(mem, a, n as usize, &mut scratch.a)?;
+            load(mem, b, n as usize, &mut scratch.b)?;
+            k::eltwise_add_act(act, &scratch.a, &scratch.b, &mut scratch.c);
+            store(mem, out, &scratch.c)
         }
         Scale { a, out, n, alpha } => {
-            let av = read_f32s(mem, a, n as usize)?;
-            let sv: Vec<f32> = av.iter().map(|&x| x * alpha).collect();
-            write_f32s(mem, out, &sv)
+            load(mem, a, n as usize, &mut scratch.a)?;
+            scratch.c.clear();
+            scratch.c.extend(scratch.a.iter().map(|&x| x * alpha));
+            store(mem, out, &scratch.c)
         }
         MatMul {
             a,
@@ -133,10 +210,10 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             k: kk,
             n,
         } => {
-            let av = read_f32s(mem, a, (m * kk) as usize)?;
-            let bv = read_f32s(mem, b, (kk * n) as usize)?;
-            let o = k::matmul(&av, &bv, m as usize, kk as usize, n as usize);
-            write_f32s(mem, out, &o)
+            load(mem, a, (m * kk) as usize, &mut scratch.a)?;
+            load(mem, b, (kk * n) as usize, &mut scratch.b)?;
+            let o = k::matmul(&scratch.a, &scratch.b, m as usize, kk as usize, n as usize);
+            store(mem, out, &o)
         }
         FullyConnected {
             x,
@@ -148,19 +225,19 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             n,
             act,
         } => {
-            let xv = read_f32s(mem, x, (m * kk) as usize)?;
-            let wv = read_f32s(mem, w, (kk * n) as usize)?;
-            let bv = opt_bias(mem, bias, n as usize)?;
+            load(mem, x, (m * kk) as usize, &mut scratch.a)?;
+            load(mem, w, (kk * n) as usize, &mut scratch.b)?;
+            let bv = load_opt_bias(mem, bias, n as usize, &mut scratch.c)?;
             let o = k::fully_connected(
-                &xv,
-                &wv,
-                bv.as_deref(),
+                &scratch.a,
+                &scratch.b,
+                bv,
                 m as usize,
                 kk as usize,
                 n as usize,
                 act,
             );
-            write_f32s(mem, out, &o)
+            store(mem, out, &o)
         }
         Conv2d {
             x,
@@ -183,13 +260,18 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                     "conv2d groups={groups} cin={cin} cout={cout} stride={stride}"
                 )));
             }
-            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
-            let wv = read_f32s(mem, w, (cout * (cin / groups) * kh * kw) as usize)?;
-            let bv = opt_bias(mem, bias, cout as usize)?;
+            load(mem, x, (cin * h * wd) as usize, &mut scratch.a)?;
+            load(
+                mem,
+                w,
+                (cout * (cin / groups) * kh * kw) as usize,
+                &mut scratch.b,
+            )?;
+            let bv = load_opt_bias(mem, bias, cout as usize, &mut scratch.c)?;
             let o = k::conv2d(
-                &xv,
-                &wv,
-                bv.as_deref(),
+                &scratch.a,
+                &scratch.b,
+                bv,
                 cin as usize,
                 h as usize,
                 wd as usize,
@@ -201,7 +283,7 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 groups as usize,
                 act,
             );
-            write_f32s(mem, out, &o)
+            store(mem, out, &o)
         }
         Pool2d {
             x,
@@ -218,9 +300,9 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                     "pool win={win} stride={stride} h={h} w={wd}"
                 )));
             }
-            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
+            load(mem, x, (c * h * wd) as usize, &mut scratch.a)?;
             let o = k::pool2d(
-                &xv,
+                &scratch.a,
                 c as usize,
                 h as usize,
                 wd as usize,
@@ -228,28 +310,28 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 stride as usize,
                 kind,
             );
-            write_f32s(mem, out, &o)
+            store(mem, out, &o)
         }
         Activation { x, out, n, act } => {
-            let xv = read_f32s(mem, x, n as usize)?;
-            let o: Vec<f32> = xv.iter().map(|&v| k::apply_act(act, v)).collect();
-            write_f32s(mem, out, &o)
+            load(mem, x, n as usize, &mut scratch.a)?;
+            k::map_act(act, &scratch.a, &mut scratch.c);
+            store(mem, out, &scratch.c)
         }
         Softmax { x, out, rows, cols } => {
-            let xv = read_f32s(mem, x, (rows * cols) as usize)?;
-            let o = k::softmax(&xv, rows as usize, cols as usize);
-            write_f32s(mem, out, &o)
+            load(mem, x, (rows * cols) as usize, &mut scratch.a)?;
+            let o = k::softmax(&scratch.a, rows as usize, cols as usize);
+            store(mem, out, &o)
         }
         Concat2 { a, na, b, nb, out } => {
-            let mut av = read_f32s(mem, a, na as usize)?;
-            let bv = read_f32s(mem, b, nb as usize)?;
-            av.extend_from_slice(&bv);
-            write_f32s(mem, out, &av)
+            load(mem, a, na as usize, &mut scratch.a)?;
+            load(mem, b, nb as usize, &mut scratch.b)?;
+            scratch.a.extend_from_slice(&scratch.b);
+            store(mem, out, &scratch.a)
         }
         Upsample2x { x, out, c, h, wd } => {
-            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
-            let o = k::upsample2x(&xv, c as usize, h as usize, wd as usize);
-            write_f32s(mem, out, &o)
+            load(mem, x, (c * h * wd) as usize, &mut scratch.a)?;
+            let o = k::upsample2x(&scratch.a, c as usize, h as usize, wd as usize);
+            store(mem, out, &o)
         }
         BatchNormInf {
             x,
@@ -259,11 +341,11 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             c,
             hw,
         } => {
-            let xv = read_f32s(mem, x, (c * hw) as usize)?;
-            let sv = read_f32s(mem, scale, c as usize)?;
-            let hv = read_f32s(mem, shift, c as usize)?;
-            let o = k::batchnorm_inf(&xv, &sv, &hv, c as usize, hw as usize);
-            write_f32s(mem, out, &o)
+            load(mem, x, (c * hw) as usize, &mut scratch.a)?;
+            load(mem, scale, c as usize, &mut scratch.b)?;
+            load(mem, shift, c as usize, &mut scratch.c)?;
+            let o = k::batchnorm_inf(&scratch.a, &scratch.b, &scratch.c, c as usize, hw as usize);
+            store(mem, out, &o)
         }
         Im2Col {
             x,
@@ -279,9 +361,9 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             if stride == 0 {
                 return Err(ExecError::BadParams("im2col stride=0".into()));
             }
-            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
+            load(mem, x, (cin * h * wd) as usize, &mut scratch.a)?;
             let o = k::im2col(
-                &xv,
+                &scratch.a,
                 cin as usize,
                 h as usize,
                 wd as usize,
@@ -290,7 +372,7 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 stride as usize,
                 pad as usize,
             );
-            write_f32s(mem, out, &o)
+            store(mem, out, &o)
         }
         SoftmaxXentGrad {
             probs,
@@ -299,15 +381,18 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             rows,
             cols,
         } => {
-            let pv = read_f32s(mem, probs, (rows * cols) as usize)?;
-            let lv = read_f32s(mem, labels, rows as usize)?;
-            for &l in &lv {
-                if l < 0.0 || l as u32 >= cols {
+            load(mem, probs, (rows * cols) as usize, &mut scratch.a)?;
+            load(mem, labels, rows as usize, &mut scratch.b)?;
+            for &l in &scratch.b {
+                // Non-finite labels must be rejected explicitly: NaN
+                // compares false everywhere and `NaN as u32` saturates to
+                // 0, which would silently train against class 0.
+                if !l.is_finite() || l < 0.0 || l as u32 >= cols {
                     return Err(ExecError::BadParams(format!("label {l} out of range")));
                 }
             }
-            let o = k::softmax_xent_grad(&pv, &lv, rows as usize, cols as usize);
-            write_f32s(mem, dx, &o)
+            let o = k::softmax_xent_grad(&scratch.a, &scratch.b, rows as usize, cols as usize);
+            store(mem, dx, &o)
         }
         MatMulGradW {
             x,
@@ -317,10 +402,10 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             k: kk,
             n,
         } => {
-            let xv = read_f32s(mem, x, (m * kk) as usize)?;
-            let dv = read_f32s(mem, dy, (m * n) as usize)?;
-            let o = k::matmul_grad_w(&xv, &dv, m as usize, kk as usize, n as usize);
-            write_f32s(mem, dw, &o)
+            load(mem, x, (m * kk) as usize, &mut scratch.a)?;
+            load(mem, dy, (m * n) as usize, &mut scratch.b)?;
+            let o = k::matmul_grad_w(&scratch.a, &scratch.b, m as usize, kk as usize, n as usize);
+            store(mem, dw, &o)
         }
         MatMulGradX {
             dy,
@@ -330,27 +415,27 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             k: kk,
             n,
         } => {
-            let dv = read_f32s(mem, dy, (m * n) as usize)?;
-            let wv = read_f32s(mem, w, (kk * n) as usize)?;
-            let o = k::matmul_grad_x(&dv, &wv, m as usize, kk as usize, n as usize);
-            write_f32s(mem, dx, &o)
+            load(mem, dy, (m * n) as usize, &mut scratch.a)?;
+            load(mem, w, (kk * n) as usize, &mut scratch.b)?;
+            let o = k::matmul_grad_x(&scratch.a, &scratch.b, m as usize, kk as usize, n as usize);
+            store(mem, dx, &o)
         }
         ReluGrad { x, dy, dx, n } => {
-            let xv = read_f32s(mem, x, n as usize)?;
-            let dv = read_f32s(mem, dy, n as usize)?;
-            let o = k::relu_grad(&xv, &dv);
-            write_f32s(mem, dx, &o)
+            load(mem, x, n as usize, &mut scratch.a)?;
+            load(mem, dy, n as usize, &mut scratch.b)?;
+            let o = k::relu_grad(&scratch.a, &scratch.b);
+            store(mem, dx, &o)
         }
         BiasGradReduce { dy, db, m, n } => {
-            let dv = read_f32s(mem, dy, (m * n) as usize)?;
-            let o = k::bias_grad(&dv, m as usize, n as usize);
-            write_f32s(mem, db, &o)
+            load(mem, dy, (m * n) as usize, &mut scratch.a)?;
+            let o = k::bias_grad(&scratch.a, m as usize, n as usize);
+            store(mem, db, &o)
         }
         SgdStep { w, g, n, lr } => {
-            let mut wv = read_f32s(mem, w, n as usize)?;
-            let gv = read_f32s(mem, g, n as usize)?;
-            k::sgd_step(&mut wv, &gv, lr);
-            write_f32s(mem, w, &wv)
+            load(mem, w, n as usize, &mut scratch.a)?;
+            load(mem, g, n as usize, &mut scratch.b)?;
+            k::sgd_step(&mut scratch.a, &scratch.b, lr);
+            store(mem, w, &scratch.a)
         }
         Conv2dGradW {
             x,
@@ -370,11 +455,11 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             }
             let ho = k::out_dim(h, kh, stride, pad) as usize;
             let wo = k::out_dim(wd, kw, stride, pad) as usize;
-            let xv = read_f32s(mem, x, (cin * h * wd) as usize)?;
-            let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
+            load(mem, x, (cin * h * wd) as usize, &mut scratch.a)?;
+            load(mem, dy, cout as usize * ho * wo, &mut scratch.b)?;
             let o = k::conv2d_grad_w(
-                &xv,
-                &dv,
+                &scratch.a,
+                &scratch.b,
                 cin as usize,
                 h as usize,
                 wd as usize,
@@ -384,7 +469,7 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 stride as usize,
                 pad as usize,
             );
-            write_f32s(mem, dw, &o)
+            store(mem, dw, &o)
         }
         Conv2dGradX {
             dy,
@@ -404,11 +489,11 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             }
             let ho = k::out_dim(h, kh, stride, pad) as usize;
             let wo = k::out_dim(wd, kw, stride, pad) as usize;
-            let dv = read_f32s(mem, dy, cout as usize * ho * wo)?;
-            let wv = read_f32s(mem, w, (cout * cin * kh * kw) as usize)?;
+            load(mem, dy, cout as usize * ho * wo, &mut scratch.a)?;
+            load(mem, w, (cout * cin * kh * kw) as usize, &mut scratch.b)?;
             let o = k::conv2d_grad_x(
-                &dv,
-                &wv,
+                &scratch.a,
+                &scratch.b,
                 cin as usize,
                 h as usize,
                 wd as usize,
@@ -418,7 +503,7 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 stride as usize,
                 pad as usize,
             );
-            write_f32s(mem, dx, &o)
+            store(mem, dx, &o)
         }
         PoolGrad {
             x,
@@ -436,11 +521,11 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
             }
             let ho = k::out_dim(h, win, stride, 0) as usize;
             let wo = k::out_dim(wd, win, stride, 0) as usize;
-            let xv = read_f32s(mem, x, (c * h * wd) as usize)?;
-            let dv = read_f32s(mem, dy, c as usize * ho * wo)?;
+            load(mem, x, (c * h * wd) as usize, &mut scratch.a)?;
+            load(mem, dy, c as usize * ho * wo, &mut scratch.b)?;
             let o = k::pool_grad(
-                &xv,
-                &dv,
+                &scratch.a,
+                &scratch.b,
                 c as usize,
                 h as usize,
                 wd as usize,
@@ -448,7 +533,7 @@ pub fn execute<M: VaMem + ?Sized>(op: &KernelOp, mem: &mut M) -> Result<(), Exec
                 stride as usize,
                 kind,
             );
-            write_f32s(mem, dx, &o)
+            store(mem, dx, &o)
         }
     }
 }
@@ -548,6 +633,51 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical_across_runs() {
+        // Run a mixed op sequence twice: once with a shared arena, once
+        // with throwaway scratch; outputs must agree exactly.
+        let ops = [
+            KernelOp::Fill {
+                out: 0x1000,
+                n: 8,
+                value: 0.125,
+            },
+            KernelOp::MatMul {
+                a: 0x1000,
+                b: 0x1000,
+                out: 0x2000,
+                m: 2,
+                k: 2,
+                n: 2,
+            },
+            KernelOp::Concat2 {
+                a: 0x1000,
+                na: 4,
+                b: 0x2000,
+                nb: 4,
+                out: 0x3000,
+            },
+            KernelOp::Softmax {
+                x: 0x3000,
+                out: 0x4000,
+                rows: 2,
+                cols: 4,
+            },
+        ];
+        let mut pooled = TestMem::default();
+        let mut fresh = TestMem::default();
+        let mut arena = ExecScratch::new();
+        for op in &ops {
+            execute_with(op, &mut pooled, &mut arena).unwrap();
+            execute(op, &mut fresh).unwrap();
+        }
+        assert_eq!(
+            get_f32s(&mut pooled, 0x4000, 8),
+            get_f32s(&mut fresh, 0x4000, 8)
+        );
+    }
+
+    #[test]
     fn page_crossing_access_works() {
         let mut mem = TestMem::default();
         let va = PG - 8; // straddles the first page boundary
@@ -615,6 +745,47 @@ mod tests {
             execute(&op2, &mut mem),
             Err(ExecError::BadParams(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_labels_rejected() {
+        // A NaN label passes `l < 0.0 || l as u32 >= cols` (NaN comparisons
+        // are false; `NaN as u32` saturates to 0) — it must be rejected,
+        // not silently trained against class 0. Same for infinities.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut mem = TestMem::default();
+            put_f32s(&mut mem, 0x100, &[0.5, 0.5]);
+            put_f32s(&mut mem, 0x200, &[bad]);
+            let op = KernelOp::SoftmaxXentGrad {
+                probs: 0x100,
+                labels: 0x200,
+                dx: 0x300,
+                rows: 1,
+                cols: 2,
+            };
+            assert!(
+                matches!(execute(&op, &mut mem), Err(ExecError::BadParams(_))),
+                "label {bad} must be rejected"
+            );
+            // Nothing was written to dx.
+            assert_eq!(get_f32s(&mut mem, 0x300, 2), vec![0.0, 0.0]);
+        }
+        // A valid label still works.
+        let mut mem = TestMem::default();
+        put_f32s(&mut mem, 0x100, &[0.5, 0.5]);
+        put_f32s(&mut mem, 0x200, &[1.0]);
+        execute(
+            &KernelOp::SoftmaxXentGrad {
+                probs: 0x100,
+                labels: 0x200,
+                dx: 0x300,
+                rows: 1,
+                cols: 2,
+            },
+            &mut mem,
+        )
+        .unwrap();
+        assert_eq!(get_f32s(&mut mem, 0x300, 2), vec![0.5, -0.5]);
     }
 
     #[test]

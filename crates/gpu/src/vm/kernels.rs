@@ -28,14 +28,39 @@ pub fn apply_act(act: ActKind, v: f32) -> f32 {
     }
 }
 
-/// Output spatial size of a conv/pool axis (0 when the kernel does not fit).
+/// Elementwise `act(a + b)` into `out` (cleared first). The activation
+/// dispatch is hoisted out of the loop so the common None/Relu cases
+/// vectorize; per-element values are identical to calling [`apply_act`].
+pub fn eltwise_add_act(act: ActKind, a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    match act {
+        ActKind::None => out.extend(a.iter().zip(b).map(|(&x, &y)| x + y)),
+        ActKind::Relu => out.extend(a.iter().zip(b).map(|(&x, &y)| (x + y).max(0.0))),
+        _ => out.extend(a.iter().zip(b).map(|(&x, &y)| apply_act(act, x + y))),
+    }
+}
+
+/// Elementwise `act(x)` into `out` (cleared first), dispatch hoisted.
+pub fn map_act(act: ActKind, x: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    match act {
+        ActKind::None => out.extend_from_slice(x),
+        ActKind::Relu => out.extend(x.iter().map(|&v| v.max(0.0))),
+        _ => out.extend(x.iter().map(|&v| apply_act(act, v))),
+    }
+}
+
+/// Output spatial size of a conv/pool axis (0 when the kernel does not fit
+/// or the dimensions overflow `u32`).
 pub fn out_dim(input: u32, kernel: u32, stride: u32, pad: u32) -> u32 {
     debug_assert!(stride > 0, "stride must be positive");
-    let padded = input + 2 * pad;
-    if padded < kernel {
+    // `input + 2 * pad` can overflow u32 for hostile recorded dimensions;
+    // widen to u64 and treat any result outside u32 as "does not fit".
+    let padded = u64::from(input) + 2 * u64::from(pad);
+    if padded < u64::from(kernel) {
         return 0;
     }
-    (padded - kernel) / stride + 1
+    u32::try_from((padded - u64::from(kernel)) / u64::from(stride) + 1).unwrap_or(0)
 }
 
 /// Dense GEMM: `out[m×n] = a[m×k] · b[k×n]`.
@@ -88,12 +113,50 @@ pub fn fully_connected(
 ///
 /// Weights are laid out `cout × (cin/groups) × kh × kw`.
 ///
+/// Dispatches between the original reference loop nest and a bit-exact
+/// restructured fast loop (see [`conv2d_fast`]); both accumulate every
+/// output element in the identical `(ic, ky, kx)` order, so replayed
+/// outputs stay bit-stable either way (`conv_fast_matches_reference`
+/// proves it).
+///
 /// # Panics
 ///
 /// Panics if the channel counts are not divisible by `groups` or buffer
 /// sizes disagree with the dimensions.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    act: ActKind,
+) -> Vec<f32> {
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    // The row-vectorized loop nest only pays off when output rows are wide
+    // enough to amortize its per-row setup; narrow outputs keep the
+    // register-accumulating reference nest. Both are bit-identical.
+    if crate::fastpath::enabled() && stride == 1 && wo >= 16 {
+        conv2d_fast(
+            x, w, bias, cin, h, wd, cout, kh, kw, stride, pad, groups, act,
+        )
+    } else {
+        conv2d_reference(
+            x, w, bias, cin, h, wd, cout, kh, kw, stride, pad, groups, act,
+        )
+    }
+}
+
+/// The original per-output-pixel loop nest (the pre-fast-path baseline).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_reference(
     x: &[f32],
     w: &[f32],
     bias: Option<&[f32]>,
@@ -152,6 +215,95 @@ pub fn conv2d(
     out
 }
 
+/// Restructured direct convolution: output-x is the innermost loop, so
+/// every `out[oc, oy, ox]` is an *independent* accumulator and the inner
+/// loop is branch-free (the valid `ox` range is hoisted out).
+///
+/// Bit-exactness: each output element still accumulates its products in
+/// exactly the reference order — bias first, then `(icg, ky, kx)` in the
+/// same nesting — because those loops stay outside `ox` and out-of-bounds
+/// taps contribute nothing in both versions. Only the *interleaving
+/// across different outputs* changes, which f32 cannot observe.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_fast(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    act: ActKind,
+) -> Vec<f32> {
+    assert!(
+        groups > 0 && cin % groups == 0 && cout % groups == 0,
+        "bad groups"
+    );
+    let cing = cin / groups;
+    let coutg = cout / groups;
+    assert_eq!(x.len(), cin * h * wd, "input size");
+    assert_eq!(w.len(), cout * cing * kh * kw, "weight size");
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    let mut out = vec![0.0f32; cout * ho * wo];
+    for g in 0..groups {
+        for ocg in 0..coutg {
+            let oc = g * coutg + ocg;
+            let b = bias.map_or(0.0, |b| b[oc]);
+            out[oc * ho * wo..(oc + 1) * ho * wo].fill(b);
+            for icg in 0..cing {
+                let ic = g * cing + icg;
+                let xplane = &x[ic * h * wd..(ic + 1) * h * wd];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let wv = w[((oc * cing + icg) * kh + ky) * kw + kx];
+                        // Valid output ranges: iy = oy*stride + ky - pad in
+                        // [0, h) and likewise for ix — hoisted from the
+                        // reference version's per-tap bounds checks.
+                        let oy_lo = pad.saturating_sub(ky).div_ceil(stride);
+                        let oy_hi = ho.min((h + pad).saturating_sub(ky).div_ceil(stride));
+                        let ox_lo = pad.saturating_sub(kx).div_ceil(stride);
+                        let ox_hi = wo.min((wd + pad).saturating_sub(kx).div_ceil(stride));
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        for oy in oy_lo..oy_hi {
+                            let iy = oy * stride + ky - pad;
+                            let xrow = &xplane[iy * wd..(iy + 1) * wd];
+                            let orow = &mut out[oc * ho * wo + oy * wo..][..wo];
+                            if stride == 1 {
+                                let xoff = kx - pad.min(kx); // == ox_lo + kx - pad
+                                let n = ox_hi - ox_lo;
+                                // Branch-free saxpy; each out lane is its
+                                // own accumulator, so this vectorizes
+                                // without reassociating any single output.
+                                for (o, &xv) in
+                                    orow[ox_lo..ox_hi].iter_mut().zip(&xrow[xoff..xoff + n])
+                                {
+                                    *o += xv * wv;
+                                }
+                            } else {
+                                for ox in ox_lo..ox_hi {
+                                    orow[ox] += xrow[ox * stride + kx - pad] * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for v in &mut out[oc * ho * wo..(oc + 1) * ho * wo] {
+                *v = apply_act(act, *v);
+            }
+        }
+    }
+    out
+}
+
 /// 2-D pooling over NCHW, no padding.
 pub fn pool2d(
     x: &[f32],
@@ -166,21 +318,33 @@ pub fn pool2d(
     let ho = out_dim(h as u32, win as u32, stride as u32, 0) as usize;
     let wo = out_dim(wd as u32, win as u32, stride as u32, 0) as usize;
     let mut out = vec![0.0f32; c * ho * wo];
+    // The kind dispatch is hoisted out of the window loop; each branch
+    // performs exactly the reduction the combined loop used to select.
     for ch in 0..c {
         for oy in 0..ho {
             for ox in 0..wo {
-                let mut best = f32::NEG_INFINITY;
-                let mut sum = 0.0f32;
-                for ky in 0..win {
-                    for kx in 0..win {
-                        let v = x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
-                        best = best.max(v);
-                        sum += v;
-                    }
-                }
                 out[ch * ho * wo + oy * wo + ox] = match kind {
-                    PoolKind::Max => best,
-                    PoolKind::Avg => sum / (win * win) as f32,
+                    PoolKind::Max => {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                best = best.max(
+                                    x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)],
+                                );
+                            }
+                        }
+                        best
+                    }
+                    PoolKind::Avg => {
+                        let mut sum = 0.0f32;
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                sum +=
+                                    x[ch * h * wd + (oy * stride + ky) * wd + (ox * stride + kx)];
+                            }
+                        }
+                        sum / (win * win) as f32
+                    }
                 };
             }
         }
@@ -237,8 +401,76 @@ pub fn batchnorm_inf(x: &[f32], scale: &[f32], shift: &[f32], c: usize, hw: usiz
 }
 
 /// ACL-style im2col producing a `(ho*wo) × (cin*kh*kw)` patch matrix.
+///
+/// Pure data movement (no float arithmetic), so the fast variant below is
+/// trivially value-identical; the reference loop is kept as the measured
+/// pre-fast-path baseline.
 #[allow(clippy::too_many_arguments)]
 pub fn im2col(
+    x: &[f32],
+    cin: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    if crate::fastpath::enabled() {
+        im2col_fast(x, cin, h, wd, kh, kw, stride, pad)
+    } else {
+        im2col_reference(x, cin, h, wd, kh, kw, stride, pad)
+    }
+}
+
+/// Slice-copy im2col: each contiguous run of valid taps is one
+/// `copy_from_slice`; the zero padding is already in place from the
+/// allocation. Value-identical to [`im2col_reference`].
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_fast(
+    x: &[f32],
+    cin: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    assert_eq!(x.len(), cin * h * wd, "input size");
+    let ho = out_dim(h as u32, kh as u32, stride as u32, pad as u32) as usize;
+    let wo = out_dim(wd as u32, kw as u32, stride as u32, pad as u32) as usize;
+    let cols = cin * kh * kw;
+    let mut out = vec![0.0f32; ho * wo * cols];
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            let ix_base = ox * stride;
+            for ic in 0..cin {
+                for ky in 0..kh {
+                    let iy = oy * stride + ky;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let kx_lo = pad.saturating_sub(ix_base).min(kw);
+                    let kx_hi = (wd + pad).saturating_sub(ix_base).min(kw);
+                    if kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let n = kx_hi - kx_lo;
+                    let src = &x[ic * h * wd + (iy - pad) * wd + ix_base + kx_lo - pad..][..n];
+                    let dst = &mut out[row * cols + (ic * kh + ky) * kw + kx_lo..][..n];
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The original per-tap im2col loop (the pre-fast-path baseline).
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_reference(
     x: &[f32],
     cin: usize,
     h: usize,
@@ -633,6 +865,69 @@ mod tests {
     }
 
     #[test]
+    fn conv_fast_matches_reference_bit_exactly() {
+        // The fast loop nest must be indistinguishable from the reference
+        // down to the last ulp: same taps, same per-output accumulation
+        // order. Sweep shapes that exercise padding, stride, groups,
+        // non-square kernels, and kernels larger than the input.
+        let cases = [
+            // (cin, h, wd, cout, kh, kw, stride, pad, groups)
+            (3, 5, 5, 4, 3, 3, 1, 1, 1),
+            (1, 28, 28, 8, 5, 5, 1, 2, 1),
+            (2, 9, 7, 6, 3, 5, 2, 2, 2),
+            (4, 4, 4, 4, 1, 1, 1, 0, 4),
+            (2, 3, 3, 2, 7, 7, 1, 3, 1),
+            (3, 11, 13, 5, 4, 2, 3, 1, 1),
+            (2, 2, 2, 2, 8, 8, 2, 4, 2),
+        ];
+        for (cin, h, wd, cout, kh, kw, stride, pad, groups) in cases {
+            let x: Vec<f32> = (0..cin * h * wd)
+                .map(|v| ((v as f32) * 0.731).sin() * 3.0)
+                .collect();
+            let w: Vec<f32> = (0..cout * (cin / groups) * kh * kw)
+                .map(|v| ((v as f32) * 0.377).cos() * 0.5)
+                .collect();
+            let b: Vec<f32> = (0..cout).map(|v| v as f32 * 0.1 - 0.2).collect();
+            for (bias, act) in [(None, ActKind::None), (Some(&b[..]), ActKind::Relu)] {
+                let fast = conv2d_fast(
+                    &x, &w, bias, cin, h, wd, cout, kh, kw, stride, pad, groups, act,
+                );
+                let reference = conv2d_reference(
+                    &x, &w, bias, cin, h, wd, cout, kh, kw, stride, pad, groups, act,
+                );
+                assert_eq!(
+                    fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "shape cin={cin} h={h} wd={wd} cout={cout} kh={kh} kw={kw} \
+                     stride={stride} pad={pad} groups={groups}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_fast_matches_reference_bit_exactly() {
+        for (cin, h, wd, kh, kw, stride, pad) in [
+            (3, 5, 5, 3, 3, 1, 1),
+            (1, 28, 28, 5, 5, 1, 2),
+            (2, 7, 9, 4, 6, 2, 3),
+            (2, 3, 3, 7, 7, 1, 3),
+            (1, 4, 4, 2, 2, 3, 0),
+        ] {
+            let x: Vec<f32> = (0..cin * h * wd)
+                .map(|v| ((v as f32) * 0.913).sin())
+                .collect();
+            let fast = im2col_fast(&x, cin, h, wd, kh, kw, stride, pad);
+            let slow = im2col_reference(&x, cin, h, wd, kh, kw, stride, pad);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape cin={cin} h={h} wd={wd} kh={kh} kw={kw} stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
     fn pooling_max_and_avg() {
         let x = vec![1., 2., 3., 4.];
         assert_eq!(pool2d(&x, 1, 2, 2, 2, 2, PoolKind::Max), vec![4.]);
@@ -781,5 +1076,19 @@ mod tests {
         assert_eq!(out_dim(224, 11, 4, 2), 55); // AlexNet conv1
         assert_eq!(out_dim(28, 5, 1, 2), 28); // MNIST conv same-pad
         assert_eq!(out_dim(4, 5, 1, 0), 0); // kernel larger than input
+    }
+
+    #[test]
+    fn out_dim_survives_u32_overflow() {
+        // `input + 2 * pad` overflows u32: must not wrap to a tiny padded
+        // size (which used to make large kernels spuriously "not fit" or,
+        // worse, produce a bogus small output dim).
+        assert_eq!(out_dim(u32::MAX, 1, 1, 1), 0, "result exceeds u32");
+        assert_eq!(out_dim(u32::MAX, 3, u32::MAX, u32::MAX), 3);
+        // Padded size wraps in u32 arithmetic (10 + 2^32 ≡ 10, which is
+        // below the kernel and used to yield 0); the true result fits.
+        assert_eq!(out_dim(10, u32::MAX, 1, 1 << 31), 12);
+        // Large-but-valid dimensions keep the exact formula.
+        assert_eq!(out_dim(1 << 30, 1, 1 << 20, 0), 1 << 10);
     }
 }

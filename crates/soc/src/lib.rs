@@ -38,6 +38,6 @@ pub mod pmc;
 pub use frames::FrameAllocator;
 pub use irq::{IrqController, IrqLine};
 pub use mailbox::{Mailbox, MboxRequest, MboxStatus};
-pub use mem::{MemError, PhysMem, SharedMem, PAGE_SIZE};
+pub use mem::{MemError, MemReadGuard, MemWriteGuard, PhysMem, SharedMem, PAGE_SIZE};
 pub use mmio::Mmio;
 pub use pmc::{Pmc, PmcDomain, SharedPmc};

@@ -7,9 +7,10 @@
 //! GPU page tables, job binaries, and tensors all live here.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Page/frame size used throughout the machine (both GPU MMU formats map
 /// 4 KiB pages, like Mali's and v3d's smallest granule).
@@ -189,6 +190,17 @@ impl PhysMem {
         let off = self.offset(pa, len)?;
         Ok(&self.bytes[off..off + len])
     }
+
+    /// Mutable borrow of the raw range (zero-copy writers; pair with
+    /// [`SharedMem::write_guard`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when out of bounds.
+    pub fn slice_mut(&mut self, pa: u64, len: usize) -> Result<&mut [u8], MemError> {
+        let off = self.offset(pa, len)?;
+        Ok(&mut self.bytes[off..off + len])
+    }
 }
 
 /// Cheap-to-clone shared handle to the machine's DRAM.
@@ -320,6 +332,63 @@ impl SharedMem {
     pub fn same_memory(&self, other: &SharedMem) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// Acquires shared read access held across a whole multi-chunk
+    /// transfer, instead of re-taking the lock per chunk.
+    ///
+    /// Lock-amortization contract: callers must finish all address
+    /// translation *before* taking a guard and must not call any other
+    /// `SharedMem` method while holding one (the underlying lock is not
+    /// reentrant).
+    pub fn read_guard(&self) -> MemReadGuard<'_> {
+        MemReadGuard {
+            guard: self.inner.read(),
+        }
+    }
+
+    /// Acquires exclusive write access held across a whole multi-chunk
+    /// transfer. Same contract as [`SharedMem::read_guard`].
+    pub fn write_guard(&self) -> MemWriteGuard<'_> {
+        MemWriteGuard {
+            guard: self.inner.write(),
+        }
+    }
+}
+
+/// Shared access to the DRAM behind a [`SharedMem`], for bulk transfers
+/// that would otherwise pay one lock acquisition per 4-KiB chunk.
+///
+/// Dereferences to [`PhysMem`], so all read accessors are available.
+pub struct MemReadGuard<'a> {
+    guard: RwLockReadGuard<'a, PhysMem>,
+}
+
+impl Deref for MemReadGuard<'_> {
+    type Target = PhysMem;
+
+    fn deref(&self) -> &PhysMem {
+        &self.guard
+    }
+}
+
+/// Exclusive access to the DRAM behind a [`SharedMem`], for bulk
+/// transfers. Dereferences (mutably) to [`PhysMem`].
+pub struct MemWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, PhysMem>,
+}
+
+impl Deref for MemWriteGuard<'_> {
+    type Target = PhysMem;
+
+    fn deref(&self) -> &PhysMem {
+        &self.guard
+    }
+}
+
+impl DerefMut for MemWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PhysMem {
+        &mut self.guard
+    }
 }
 
 #[cfg(test)]
@@ -381,5 +450,22 @@ mod tests {
     #[should_panic(expected = "page aligned")]
     fn unaligned_size_panics() {
         let _ = PhysMem::new(0, 100);
+    }
+
+    #[test]
+    fn guards_amortize_locking_across_chunks() {
+        let shared = SharedMem::new(PhysMem::new(0, 4 * PAGE_SIZE));
+        {
+            let mut g = shared.write_guard();
+            g.write(0, b"abc").unwrap();
+            g.write(PAGE_SIZE as u64, b"def").unwrap();
+        }
+        let g = shared.read_guard();
+        let mut buf = [0u8; 3];
+        g.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        g.read(PAGE_SIZE as u64, &mut buf).unwrap();
+        assert_eq!(&buf, b"def");
+        assert!(g.read(4 * PAGE_SIZE as u64, &mut buf).is_err());
     }
 }
