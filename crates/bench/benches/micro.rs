@@ -24,7 +24,7 @@ fn bench_replay(c: &mut Criterion) {
             let mut replayer = Replayer::new(env);
             let id = replayer.load(rm.recordings[0].clone()).unwrap();
             let mut io = ReplayIo::for_recording(replayer.recording(id));
-            io.set_input_f32(0, &input);
+            io.set_input_f32(0, &input).unwrap();
             replayer.replay(id, &mut io).unwrap();
             replayer.cleanup();
         })

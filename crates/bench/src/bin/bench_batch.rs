@@ -1,0 +1,243 @@
+//! Benchmark for batched warm-machine replay (`Replayer::replay_batch`).
+//!
+//! Records MNIST once per SKU, then replays a 16-input batch two ways on
+//! a warm replayer:
+//!
+//! * **sequential** — 16 plain `replay()` calls, each paying the full
+//!   action stream (dump re-upload, idempotent remaps, register
+//!   prologue);
+//! * **batched** — one `replay_batch` call that runs the prologue once
+//!   and only the per-input suffix per element.
+//!
+//! Reports *virtual-time* throughput (deterministic — what the cost model
+//! says the hardware+software pipeline takes) and host wall-clock, and
+//! hard-fails unless batched outputs are bit-identical to the sequential
+//! outputs and to the CPU reference.
+//!
+//! Usage: `bench_batch [--smoke] [--out PATH]`
+//!
+//! Writes `BENCH_batch.json` at the workspace root (or `PATH`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gr_bench::record_model;
+use gr_gpu::{sku, GpuSku};
+use gr_mlfw::cpu_ref;
+use gr_mlfw::fusion::Granularity;
+use gr_mlfw::models;
+use gr_replayer::{EnvKind, Environment, ReplayIo, Replayer};
+use gr_sim::SimRng;
+
+const BATCH: usize = 16;
+
+struct CaseResult {
+    sku: &'static str,
+    env: EnvKind,
+    seq_virtual_ms: f64,
+    batch_virtual_ms: f64,
+    seq_wall_ms: f64,
+    batch_wall_ms: f64,
+    prologue_actions: usize,
+    suffix_actions: usize,
+}
+
+impl CaseResult {
+    fn virtual_speedup(&self) -> f64 {
+        self.seq_virtual_ms / self.batch_virtual_ms
+    }
+    fn wall_speedup(&self) -> f64 {
+        self.seq_wall_ms / self.batch_wall_ms
+    }
+}
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn batch_case(sku_ref: &'static GpuSku, env: EnvKind, wall_reps: usize) -> CaseResult {
+    let rm = record_model(sku_ref, &models::mnist(), Granularity::WholeNn, true, 7);
+    let inputs: Vec<Vec<f32>> = (0..BATCH)
+        .map(|k| random_input(rm.net.input_len(), 1000 + k as u64))
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| cpu_ref::cpu_infer(&rm.net, i))
+        .collect();
+
+    let fresh_replayer = || {
+        let machine = gr_gpu::Machine::new(sku_ref, 7);
+        let environment = Environment::new(env, machine).expect("env");
+        let mut replayer = Replayer::new(environment);
+        let id = replayer.load_bytes(&rm.blobs[0]).expect("load");
+        (replayer, id)
+    };
+    let make_ios = |replayer: &Replayer, id: usize| -> Vec<ReplayIo> {
+        inputs
+            .iter()
+            .map(|input| {
+                let mut io = ReplayIo::for_recording(replayer.recording(id));
+                io.set_input_f32(0, input).expect("input shape");
+                io
+            })
+            .collect()
+    };
+
+    // Sequential: 16 plain replay() calls on a warm replayer. One warm-up
+    // element first so both modes start from identical warm state.
+    let (mut replayer, id) = fresh_replayer();
+    let mut warm = make_ios(&replayer, id);
+    replayer.replay(id, &mut warm[0]).expect("warm-up");
+    let machine = replayer.env().machine().clone();
+    let t0 = machine.now();
+    let mut seq_wall_ms = f64::INFINITY;
+    let mut seq_outputs = Vec::new();
+    for rep in 0..wall_reps {
+        let mut ios = make_ios(&replayer, id);
+        let w = Instant::now();
+        for io in ios.iter_mut() {
+            replayer.replay(id, io).expect("sequential replay");
+        }
+        seq_wall_ms = seq_wall_ms.min(w.elapsed().as_secs_f64() * 1e3);
+        if rep == 0 {
+            seq_outputs = ios
+                .iter()
+                .map(|io| io.output_f32(0).expect("output"))
+                .collect();
+        }
+    }
+    let seq_virtual_ms = (machine.now() - t0).as_nanos() as f64 / 1e6 / wall_reps as f64;
+    replayer.cleanup();
+
+    // Batched: one replay_batch of the same 16 inputs on a warm replayer.
+    let (mut replayer, id) = fresh_replayer();
+    let mut warm = make_ios(&replayer, id);
+    replayer.replay(id, &mut warm[0]).expect("warm-up");
+    let machine = replayer.env().machine().clone();
+    let t0 = machine.now();
+    let mut batch_wall_ms = f64::INFINITY;
+    let mut batch_outputs = Vec::new();
+    let mut report = None;
+    for rep in 0..wall_reps {
+        let mut ios = make_ios(&replayer, id);
+        let w = Instant::now();
+        let r = replayer.replay_batch(id, &mut ios).expect("batched replay");
+        batch_wall_ms = batch_wall_ms.min(w.elapsed().as_secs_f64() * 1e3);
+        if rep == 0 {
+            batch_outputs = ios
+                .iter()
+                .map(|io| io.output_f32(0).expect("output"))
+                .collect();
+            report = Some(r);
+        }
+    }
+    let batch_virtual_ms = (machine.now() - t0).as_nanos() as f64 / 1e6 / wall_reps as f64;
+    replayer.cleanup();
+    let report = report.expect("at least one rep");
+    assert!(report.amortized, "MNIST batch must take the amortized path");
+
+    // Bit-exactness gate: batch == sequential == CPU reference.
+    assert_eq!(
+        batch_outputs, seq_outputs,
+        "{}: batched outputs diverged from sequential",
+        sku_ref.name
+    );
+    assert_eq!(
+        batch_outputs, expected,
+        "{}: outputs diverged from CPU reference",
+        sku_ref.name
+    );
+
+    CaseResult {
+        sku: sku_ref.name,
+        env,
+        seq_virtual_ms,
+        batch_virtual_ms,
+        seq_wall_ms,
+        batch_wall_ms,
+        prologue_actions: report.prologue_actions,
+        suffix_actions: report.suffix_actions,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json").to_string()
+        });
+    let wall_reps = if smoke { 2 } else { 12 };
+
+    eprintln!("bench_batch: {BATCH}-input MNIST batch, Mali G71...");
+    let mali = batch_case(&sku::MALI_G71, EnvKind::UserLevel, wall_reps);
+    eprintln!("bench_batch: {BATCH}-input MNIST batch, v3d...");
+    let v3d = batch_case(&sku::V3D_RPI4, EnvKind::KernelLevel, wall_reps);
+
+    let cases = [mali, v3d];
+    let min_virtual = cases
+        .iter()
+        .map(CaseResult::virtual_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_wall = cases
+        .iter()
+        .map(CaseResult::wall_speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut json = String::from("{\n  \"bench\": \"batch_replay\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sku\": \"{}\", \"env\": \"{}\", \
+             \"sequential_virtual_ms\": {:.3}, \"batch_virtual_ms\": {:.3}, \
+             \"virtual_speedup\": {:.2}, \
+             \"sequential_wall_ms\": {:.3}, \"batch_wall_ms\": {:.3}, \
+             \"wall_speedup\": {:.2}, \
+             \"prologue_actions\": {}, \"suffix_actions\": {}}}",
+            c.sku,
+            c.env,
+            c.seq_virtual_ms,
+            c.batch_virtual_ms,
+            c.virtual_speedup(),
+            c.seq_wall_ms,
+            c.batch_wall_ms,
+            c.wall_speedup(),
+            c.prologue_actions,
+            c.suffix_actions,
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"min_virtual_speedup\": {min_virtual:.2},");
+    let _ = writeln!(json, "  \"min_wall_speedup\": {min_wall:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    for c in &cases {
+        eprintln!(
+            "  {} ({}): virtual {:.3} -> {:.3} ms per {BATCH}-batch ({:.2}x), wall {:.3} -> {:.3} ms ({:.2}x)",
+            c.sku,
+            c.env,
+            c.seq_virtual_ms,
+            c.batch_virtual_ms,
+            c.virtual_speedup(),
+            c.seq_wall_ms,
+            c.batch_wall_ms,
+            c.wall_speedup(),
+        );
+    }
+    assert!(
+        min_virtual >= 2.0,
+        "acceptance: batched replay must be >= 2x sequential throughput, got {min_virtual:.2}x"
+    );
+}

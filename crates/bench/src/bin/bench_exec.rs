@@ -69,7 +69,7 @@ fn replay_hot_loop(
         .iter()
         .map(|&id| ReplayIo::for_recording(replayer.recording(id)))
         .collect();
-    ios[0].set_input_f32(0, input);
+    ios[0].set_input_f32(0, input).unwrap();
     let t0 = Instant::now();
     for _ in 0..runs {
         for (i, &id) in ids.iter().enumerate() {
@@ -77,7 +77,7 @@ fn replay_hot_loop(
         }
     }
     let ms = t0.elapsed().as_secs_f64() * 1e3 / runs as f64;
-    let output = ios[ids.len() - 1].output_f32(0);
+    let output = ios[ids.len() - 1].output_f32(0).unwrap();
     replayer.cleanup();
     (ms, output)
 }
@@ -164,14 +164,14 @@ fn vecadd_once(blob: &[u8], a: &[f32], runs: usize) -> (f64, Vec<f32>) {
     let mut replayer = Replayer::new(environment);
     let id = replayer.load_bytes(blob).expect("load");
     let mut io = ReplayIo::for_recording(replayer.recording(id));
-    io.set_input_f32(0, a);
-    io.set_input_f32(1, a);
+    io.set_input_f32(0, a).unwrap();
+    io.set_input_f32(1, a).unwrap();
     let t0 = Instant::now();
     for _ in 0..runs {
         replayer.replay(id, &mut io).expect("replay");
     }
     let ms = t0.elapsed().as_secs_f64() * 1e3 / runs as f64;
-    let out = io.output_f32(0);
+    let out = io.output_f32(0).unwrap();
     replayer.cleanup();
     (ms, out)
 }

@@ -140,14 +140,14 @@ pub fn measure_gr(
     for (i, &id) in ids.iter().enumerate() {
         let mut io = ReplayIo::for_recording(replayer.recording(id));
         if i == 0 {
-            io.set_input_f32(0, input);
+            io.set_input_f32(0, input).unwrap();
         }
         let report = replayer.replay(id, &mut io).expect("replay");
         if i == 0 {
             first_startup = report.startup;
         }
         if i + 1 == ids.len() {
-            output = io.output_f32(0);
+            output = io.output_f32(0).unwrap();
         }
     }
     let infer = machine.now() - t1;
@@ -530,8 +530,8 @@ pub fn fig08_training() -> String {
     let t1 = target.now();
     for i in 0..20 {
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &img);
-        io.set_input_f32(1, &[3.0]);
+        io.set_input_f32(0, &img).unwrap();
+        io.set_input_f32(1, &[3.0]).unwrap();
         io.inputs[2] = w[0].clone();
         io.inputs[3] = w[1].clone();
         io.inputs[4] = w[2].clone();
@@ -574,8 +574,8 @@ pub fn fig09_cross_sku() -> String {
         let id = replayer.load(rec.clone())?;
         let mut io = ReplayIo::for_recording(replayer.recording(id));
         let n = replayer.recording(id).inputs[0].len as usize / 4;
-        io.set_input_f32(0, &random_input(n, 7));
-        io.set_input_f32(1, &random_input(n, 8));
+        io.set_input_f32(0, &random_input(n, 7)).unwrap();
+        io.set_input_f32(1, &random_input(n, 8)).unwrap();
         let report = replayer.replay(id, &mut io)?;
         replayer.cleanup();
         Ok(report.wall - report.startup)
@@ -711,12 +711,12 @@ pub fn val72_correctness(runs: usize) -> String {
         }
         let input = random_input(rm.net.input_len(), 3000 + i as u64);
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &input);
+        io.set_input_f32(0, &input).unwrap();
         let report = replayer.replay(id, &mut io).unwrap();
         if report.retries > 0 {
             recovered += 1;
         }
-        if io.output_f32(0) == cpu_ref::cpu_infer(&rm.net, &input) {
+        if io.output_f32(0).unwrap() == cpu_ref::cpu_infer(&rm.net, &input) {
             ok += 1;
         }
         replayer.cleanup();
@@ -795,7 +795,7 @@ pub fn fig_checkpoint() -> String {
         replayer.checkpoint_every_jobs = every;
         let id = replayer.load_bytes(&rm.blobs[0]).unwrap();
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &input);
+        io.set_input_f32(0, &input).unwrap();
         let report = replayer.replay(id, &mut io).unwrap();
         replayer.cleanup();
         secs(report.wall)

@@ -6,6 +6,13 @@ use gr_sim::SimDuration;
 /// Interpreter dispatch per action.
 pub const ACTION_DISPATCH: SimDuration = SimDuration::from_nanos(300);
 
+/// Interpreter dispatch per action on a pre-resolved batch suffix
+/// (`replay_batch`): bounds checks, dead-upload lookups, and payload
+/// validation were done once when the batch started, so warm re-runs are
+/// a branch-light sweep over resolved actions. The difference to
+/// [`ACTION_DISPATCH`] is charged once per suffix action at batch start.
+pub const ACTION_DISPATCH_WARM: SimDuration = SimDuration::from_nanos(100);
+
 /// Static verification per action (§5.1).
 pub const VERIFY_PER_ACTION: SimDuration = SimDuration::from_nanos(150);
 

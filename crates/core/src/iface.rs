@@ -95,6 +95,48 @@ impl NanoIface {
         }
     }
 
+    /// Registers whose replayed *write* can retarget translation or reset
+    /// device state: table base, MMU/address-space control, and global
+    /// command registers. A batch suffix containing one is not warm-safe —
+    /// sequential replay would re-establish the machine state from the
+    /// prologue each time, a warm batch would not (see
+    /// `VerifyReport::batch_split`).
+    pub fn is_batch_hazard_reg(self, reg: u32) -> bool {
+        match self {
+            NanoIface::Mali => matches!(
+                reg,
+                mali::regs::GPU_COMMAND
+                    | mali::regs::AS0_COMMAND
+                    | mali::regs::AS0_TRANSTAB_LO
+                    | mali::regs::AS0_TRANSTAB_HI
+                    | mali::regs::AS0_TRANSCFG
+            ),
+            NanoIface::V3d => matches!(
+                reg,
+                v3d::regs::CTL_RESET
+                    | v3d::regs::MMU_CTRL
+                    | v3d::regs::MMU_PT_BASE_LO
+                    | v3d::regs::MMU_PT_BASE_HI
+            ),
+        }
+    }
+
+    /// Issues the family's architectural TLB shootdown: Mali's
+    /// `AS_CMD_FLUSH`, or a v3d `MMU_CTRL` write with the self-clearing
+    /// TLB-clear bit. Required after an unmap so no stale translation can
+    /// be served once the VA (or its backing frame) is recycled.
+    pub fn tlb_shootdown(self, machine: &Machine) {
+        match self {
+            NanoIface::Mali => {
+                machine.gpu_write32(mali::regs::AS0_COMMAND, mali::regs::AS_CMD_FLUSH);
+            }
+            NanoIface::V3d => {
+                let ctrl = machine.gpu_read32(v3d::regs::MMU_CTRL);
+                machine.gpu_write32(v3d::regs::MMU_CTRL, ctrl | v3d::regs::MMU_CTRL_TLB_CLEAR);
+            }
+        }
+    }
+
     /// Issues a GPU soft reset and waits for it (the §5.4 recovery and
     /// §5.3 handoff primitive).
     pub fn soft_reset(self, machine: &Machine) -> Result<(), ReplayError> {

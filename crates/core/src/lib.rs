@@ -21,7 +21,7 @@
 //! let mut replayer = Replayer::new(env);
 //! let id = replayer.load_bytes(bytes)?;
 //! let mut io = ReplayIo::for_recording(replayer.recording(id));
-//! io.set_input_f32(0, input);
+//! io.set_input_f32(0, input)?;
 //! let report = replayer.replay(id, &mut io)?;
 //! println!("replayed {} actions in {}", report.actions, report.wall);
 //! # Ok(()) }
@@ -42,4 +42,4 @@ pub use error::ReplayError;
 pub use handoff::{preempt_gpu, GpuLease};
 pub use iface::NanoIface;
 pub use patch::{patch_recording, PatchOptions};
-pub use replayer::{ReplayIo, ReplayReport, Replayer};
+pub use replayer::{BatchReport, ReplayIo, ReplayReport, Replayer};

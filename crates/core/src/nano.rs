@@ -133,6 +133,10 @@ impl NanoDriver {
                 .unmap_page_raw(&self.machine, self.root_pa, va + (i * PAGE_SIZE) as u64);
             let _ = self.machine.frames().lock().free(*pa);
         }
+        // Architectural TLB shootdown: without it a stale translation
+        // could survive into a mapping that later recycles this VA (or
+        // leak writes into whoever now owns the freed frames).
+        self.iface.tlb_shootdown(&self.machine);
         Ok(())
     }
 

@@ -24,6 +24,81 @@ pub struct VerifyReport {
     pub peak_pages: u64,
     /// Distinct registers touched.
     pub registers_touched: usize,
+    /// Indices of `Upload` actions proven dead: their whole dump range is
+    /// overwritten by a later `CopyToGpu` before any register write could
+    /// have started a job, so the uploaded bytes are never observed.
+    pub dead_uploads: Vec<usize>,
+    /// First action index of the per-input replay suffix, when the
+    /// recording supports warm batched replay (see
+    /// [`crate::Replayer::replay_batch`]): the prologue `[0, split)` is
+    /// input-independent (no `CopyToGpu`/`CopyFromGpu`, no job waits) and
+    /// the suffix `[split, end)` never mutates the address space (no
+    /// map/unmap/table-base switch), so the prologue can run once per warm
+    /// machine and the suffix once per batch element.
+    pub batch_split: Option<usize>,
+}
+
+/// Finds `Upload` actions whose dump range is fully overwritten by a later
+/// `CopyToGpu` before any job could run (satisfying the elision rule the
+/// report documents). The scan is conservative: any register write, IRQ
+/// wait, output copy, or unmap between the upload and the covering input
+/// copy keeps the upload live.
+fn find_dead_uploads(rec: &Recording) -> Vec<usize> {
+    let mut dead = Vec::new();
+    for (i, ta) in rec.actions.iter().enumerate() {
+        let Action::Upload { dump_idx } = &ta.action else {
+            continue;
+        };
+        let Some(dump) = rec.dumps.get(*dump_idx as usize) else {
+            continue; // verify() proper rejects this recording
+        };
+        let (dva, dlen) = (dump.va, dump.bytes.len() as u64);
+        for later in &rec.actions[i + 1..] {
+            match &later.action {
+                Action::CopyToGpu { slot } => {
+                    let Some(s) = rec.inputs.get(*slot as usize) else {
+                        break;
+                    };
+                    if s.va <= dva && dva + dlen <= s.va + u64::from(s.len) {
+                        dead.push(i);
+                        break;
+                    }
+                }
+                // Overwriting the same bytes again cannot resurrect them;
+                // keep scanning. Everything else might observe the upload.
+                Action::Upload { .. } => {}
+                _ => break,
+            }
+        }
+    }
+    dead
+}
+
+/// Computes the warm-batch split point, if the recording's shape allows
+/// prologue/suffix amortization (documented on `VerifyReport::batch_split`).
+///
+/// Besides address-space actions, the suffix must not *write* any
+/// translation/reset hazard register (`NanoIface::is_batch_hazard_reg`):
+/// a fabricated recording could otherwise retarget the page-table base
+/// mid-suffix and diverge from sequential replay, which re-establishes
+/// the base from the prologue on every element.
+fn find_batch_split(rec: &Recording, iface: NanoIface) -> Option<usize> {
+    let split = rec
+        .actions
+        .iter()
+        .position(|ta| matches!(ta.action, Action::CopyToGpu { .. }))?;
+    let prologue_clean = rec.actions[..split].iter().all(|ta| {
+        !matches!(
+            ta.action,
+            Action::WaitIrq { .. } | Action::CopyFromGpu { .. }
+        )
+    });
+    let suffix_clean = rec.actions[split..].iter().all(|ta| match &ta.action {
+        Action::MapGpuMem { .. } | Action::UnmapGpuMem { .. } | Action::SetGpuPgtable => false,
+        Action::RegWrite { reg, .. } => !iface.is_batch_hazard_reg(*reg),
+        _ => true,
+    });
+    (prologue_clean && suffix_clean).then_some(split)
 }
 
 /// Verifies `rec` against the family interface and a physical-page cap.
@@ -162,6 +237,8 @@ pub fn verify(
         actions: rec.actions.len(),
         peak_pages: peak,
         registers_touched: regs.len(),
+        dead_uploads: find_dead_uploads(rec),
+        batch_split: find_batch_split(rec, iface),
     })
 }
 
@@ -203,6 +280,126 @@ mod tests {
         let report = verify(&rec, NanoIface::Mali, 1024).unwrap();
         assert_eq!(report.peak_pages, 2);
         assert_eq!(report.registers_touched, 1);
+        assert!(report.dead_uploads.is_empty(), "input does not cover dump");
+        assert_eq!(report.batch_split, Some(2), "suffix starts at CopyToGpu");
+    }
+
+    #[test]
+    fn detects_dead_uploads_covered_by_input_copy() {
+        let mut rec = base_rec();
+        // Dump fully inside the input slot's range, then the input copy.
+        rec.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![0xEE; 64],
+        });
+        rec.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: 128,
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        let report = verify(&rec, NanoIface::Mali, 1024).unwrap();
+        assert_eq!(report.dead_uploads, vec![1]);
+
+        // A register write between upload and input copy (a potential job
+        // kick) keeps the upload live.
+        let mut rec2 = base_rec();
+        rec2.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![0xEE; 64],
+        });
+        rec2.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: 128,
+        });
+        rec2.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec2.actions.push(TimedAction::immediate(Action::RegWrite {
+            reg: gr_gpu::mali::regs::JS0_COMMAND,
+            mask: u32::MAX,
+            val: 1,
+        }));
+        rec2.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        let report2 = verify(&rec2, NanoIface::Mali, 1024).unwrap();
+        assert!(report2.dead_uploads.is_empty(), "kick may observe the dump");
+    }
+
+    #[test]
+    fn batch_split_requires_clean_prologue_and_suffix() {
+        // No inputs at all: nothing to amortize per element.
+        let rec = base_rec();
+        assert_eq!(
+            verify(&rec, NanoIface::Mali, 1024).unwrap().batch_split,
+            None
+        );
+
+        // A map after the first input copy makes warm reuse unsound.
+        let mut rec2 = base_rec();
+        rec2.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: 64,
+        });
+        rec2.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        rec2.actions.push(TimedAction::immediate(Action::MapGpuMem {
+            va: 0x20_0000,
+            pte_flags: vec![0xB],
+        }));
+        assert_eq!(
+            verify(&rec2, NanoIface::Mali, 1024).unwrap().batch_split,
+            None
+        );
+
+        // A suffix write to a translation/reset hazard register (here the
+        // page-table base) could hijack warm elements: unbatchable.
+        let mut rec_hazard = base_rec();
+        rec_hazard.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: 64,
+        });
+        rec_hazard
+            .actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        rec_hazard
+            .actions
+            .push(TimedAction::immediate(Action::RegWrite {
+                reg: gr_gpu::mali::regs::AS0_TRANSTAB_LO,
+                mask: u32::MAX,
+                val: 0xDEAD_B000,
+            }));
+        assert_eq!(
+            verify(&rec_hazard, NanoIface::Mali, 1024)
+                .unwrap()
+                .batch_split,
+            None,
+            "suffix table-base write must disqualify batching"
+        );
+
+        // A job wait before the input copy means jobs ran input-independent:
+        // leave those recordings on the unamortized path.
+        let mut rec3 = base_rec();
+        rec3.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: 64,
+        });
+        rec3.actions.push(TimedAction::immediate(Action::WaitIrq {
+            line: 0,
+            timeout_ns: 1,
+        }));
+        rec3.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        assert_eq!(
+            verify(&rec3, NanoIface::Mali, 1024).unwrap().batch_split,
+            None
+        );
     }
 
     #[test]

@@ -472,7 +472,9 @@ impl GpuDev for V3dGpu {
             r::MMU_CTRL => {
                 // Enable/disable or reconfigure acts as a TLB shootdown;
                 // shaders decoded under the old translation are stale too.
-                self.mmu_ctrl = val;
+                // The TLB_CLEAR command bit is self-clearing: it forces the
+                // flush but is never stored.
+                self.mmu_ctrl = val & !r::MMU_CTRL_TLB_CLEAR;
                 self.tlb.flush();
                 self.cached_list = None;
             }

@@ -30,8 +30,12 @@ pub const CT0CS: u32 = 0x020;
 pub const MMU_PT_BASE_LO: u32 = 0x028;
 /// Flat page-table base, high half.
 pub const MMU_PT_BASE_HI: u32 = 0x02C;
-/// MMU control (bit 0 enable).
+/// MMU control (bit 0 enable; bit 2 self-clearing TLB clear).
 pub const MMU_CTRL: u32 = 0x030;
+/// MMU_CTRL bit: architectural TLB shootdown. Self-clearing command bit —
+/// writes with it set flush every cached translation; reads never observe
+/// it. Drivers set it on unmap so freed VAs/frames can be recycled.
+pub const MMU_CTRL_TLB_CLEAR: u32 = 1 << 2;
 /// Faulting VA of the last MMU fault.
 pub const MMU_ADDR: u32 = 0x034;
 /// Error detail for CT0CS error bit (see `ERR_*`).

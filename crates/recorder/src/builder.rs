@@ -99,12 +99,20 @@ pub fn build_recording(
     let mut prev_at: Option<SimTime> = None;
     let mut inputs_pending = !rec.inputs.is_empty();
     let mut first_dump_seen = false;
+    // Interactions inside interrupt context are event-synchronized: the
+    // IRQ itself (not the GPU) paces them, and the gaps only measure the
+    // record-time handler's CPU cost — which the replayer charges for
+    // itself. Like the gap-after-WaitIrq rule below, they are never
+    // converted into pacing (unconditionally, independent of the §4.5
+    // idle-skip ablation).
+    let irq_depth = std::cell::Cell::new(0i32);
 
     let push = |rec: &mut Recording, prev_at: &mut Option<SimTime>, at: SimTime, action: Action| {
         let interval = match *prev_at {
             Some(p) if at > p => {
                 let gap = at - p;
-                if cfg.skip_idle_intervals && !overlaps_busy(&spans, p, at) {
+                if irq_depth.get() > 0 || (cfg.skip_idle_intervals && !overlaps_busy(&spans, p, at))
+                {
                     0
                 } else {
                     gap.as_nanos()
@@ -190,6 +198,7 @@ pub fn build_recording(
                     e.at,
                     Action::IrqContext { enter: *enter },
                 );
+                irq_depth.set(irq_depth.get() + if *enter { 1 } else { -1 });
             }
             _ => {}
         }
@@ -276,6 +285,7 @@ pub fn build_recording(
                     e.at,
                     Action::IrqContext { enter: *enter },
                 );
+                irq_depth.set(irq_depth.get() + if *enter { 1 } else { -1 });
             }
             RawEvent::PgtableSet => {
                 push(&mut rec, &mut prev_at, e.at, Action::SetGpuPgtable);
@@ -451,6 +461,63 @@ mod tests {
         assert_eq!(tags, vec![7, 7, 8, 3]);
         assert_eq!(rec.meta.job_count, 1);
         assert_eq!(dumped_pages(&rec), 3);
+    }
+
+    #[test]
+    fn gaps_inside_irq_context_are_event_synchronized() {
+        // WaitIrq → IrqCtx(enter) → [7 µs handler gap] → RegRead →
+        // RegWrite → IrqCtx(exit) → [gap] → RegWrite, all during a busy
+        // span: the interior gaps are handler CPU time, never pacing.
+        let group = vec![
+            ev(0, RawEvent::GpuPhase { busy: true }),
+            ev(
+                0,
+                RawEvent::WaitIrq {
+                    line: 0,
+                    timeout: SimDuration::from_secs(1),
+                },
+            ),
+            ev(100, RawEvent::IrqCtx { enter: true }),
+            ev(
+                7_100,
+                RawEvent::RegRead {
+                    reg: 0x2024,
+                    val: 1,
+                },
+            ),
+            ev(
+                9_100,
+                RawEvent::RegWrite {
+                    reg: 0x2028,
+                    val: 1,
+                },
+            ),
+            ev(9_200, RawEvent::IrqCtx { enter: false }),
+            ev(9_300, RawEvent::GpuPhase { busy: false }),
+            // Busy-span gap *outside* irq context stays preserved.
+            ev(
+                9_800,
+                RawEvent::RegWrite {
+                    reg: 0x2030,
+                    val: 2,
+                },
+            ),
+            ev(9_900, RawEvent::GpuPhase { busy: true }),
+            ev(9_900, RawEvent::GpuPhase { busy: false }),
+        ];
+        let rec = build_recording(&cfg(true), &[], &[], &group, vec![], vec![]);
+        let intervals: Vec<u64> = rec.actions.iter().map(|a| a.min_interval_ns).collect();
+        // WaitIrq, IrqCtx(enter), RegRead, RegWrite, IrqCtx(exit), RegWrite.
+        assert_eq!(rec.actions.len(), 6);
+        assert_eq!(
+            &intervals[1..5],
+            &[0, 0, 0, 0],
+            "everything inside (or entering) irq context is event-paced"
+        );
+        assert_eq!(
+            intervals[5], 600,
+            "busy gap outside irq context remains pacing"
+        );
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The replay service: long-lived, multi-tenant replay behind a
+//! submission queue.
+//!
+//! The paper's replayer is single-shot: init, load, replay, cleanup. A
+//! client serving inference traffic wants the opposite shape — machines
+//! that stay warm (page tables built, dumps uploaded, registers
+//! configured) while requests stream in. This crate provides that shape:
+//!
+//! * one **shard** per GPU SKU, each with its own submission queue;
+//! * N **worker threads** per shard, each owning a warm [`Machine`] +
+//!   [`Replayer`] with every recording pre-loaded and verified;
+//! * **batched execution**: a job carries one or more [`ReplayIo`]s and
+//!   runs through [`Replayer::replay_batch`], so the reset/upload/remap
+//!   prologue is paid once per job instead of once per input;
+//! * **fault isolation**: a malformed request (wrong slot count, wrong
+//!   byte sizes, bad recording id) is answered with an error on the
+//!   ticket — the worker and its warm state survive, and §5.4 recovery
+//!   inside a batch re-warms the machine without poisoning later
+//!   elements.
+//!
+//! ```no_run
+//! use gr_service::{ReplayService, ShardSpec};
+//! use gr_replayer::{EnvKind, ReplayIo};
+//! use gr_gpu::sku;
+//!
+//! # fn demo(blob: Vec<u8>, ios: Vec<ReplayIo>) -> Result<(), gr_service::ServiceError> {
+//! let service = ReplayService::builder()
+//!     .shard(ShardSpec::new(&sku::MALI_G71, EnvKind::UserLevel, vec![blob]).workers(2))
+//!     .spawn()?;
+//! let ticket = service.submit("G71", 0, ios)?;
+//! let outcome = ticket.wait()?;
+//! println!("batch of {} on worker {}", outcome.report.elements, outcome.worker);
+//! service.shutdown();
+//! # Ok(()) }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use gr_gpu::{GpuSku, Machine};
+use gr_replayer::{BatchReport, EnvKind, Environment, ReplayError, ReplayIo, Replayer};
+
+/// Why a service call failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No shard serves this SKU name.
+    UnknownSku(String),
+    /// Two shards were configured for the same SKU name.
+    DuplicateShard(String),
+    /// The shard's workers are gone (shutdown raced or a thread died).
+    WorkerLost,
+    /// A worker failed to warm up at spawn time.
+    Startup(ReplayError),
+    /// The replay itself failed; the worker survived and keeps serving.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSku(name) => write!(f, "no shard for SKU '{name}'"),
+            ServiceError::DuplicateShard(name) => {
+                write!(f, "more than one shard configured for SKU '{name}'")
+            }
+            ServiceError::WorkerLost => write!(f, "shard workers are gone"),
+            ServiceError::Startup(e) => write!(f, "worker warm-up failed: {e}"),
+            ServiceError::Replay(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One shard to build: a SKU, a deployment environment, the recordings
+/// every worker pre-loads, and the worker count.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// GPU SKU the shard's machines model.
+    pub sku: &'static GpuSku,
+    /// Deployment environment of each worker's replayer (§6.3).
+    pub env: EnvKind,
+    /// Serialized recordings, loaded (and verified) by every worker in
+    /// order; job `recording` indices refer to this order.
+    pub recordings: Vec<Vec<u8>>,
+    /// Worker threads (warm machines) in the shard.
+    pub workers: usize,
+    /// Base machine seed; worker `i` gets `seed + i` so shards exercise
+    /// different hardware timing jitter while outputs stay bit-exact.
+    pub seed: u64,
+}
+
+impl ShardSpec {
+    /// A one-worker shard with default seed.
+    pub fn new(sku: &'static GpuSku, env: EnvKind, recordings: Vec<Vec<u8>>) -> ShardSpec {
+        ShardSpec {
+            sku,
+            env,
+            recordings,
+            workers: 1,
+            seed: 1,
+        }
+    }
+
+    /// Sets the worker count (minimum 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> ShardSpec {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the base machine seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> ShardSpec {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a finished job hands back.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The request's IO blocks, outputs filled.
+    pub ios: Vec<ReplayIo>,
+    /// The batch report from [`Replayer::replay_batch`].
+    pub report: BatchReport,
+    /// Index of the worker (within its shard) that served the job.
+    pub worker: usize,
+}
+
+/// A pending job: redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<BatchOutcome, ReplayError>>,
+}
+
+impl Ticket {
+    /// Blocks until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Replay`] when the replay failed,
+    /// [`ServiceError::WorkerLost`] when the serving worker vanished.
+    pub fn wait(self) -> Result<BatchOutcome, ServiceError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServiceError::WorkerLost)?
+            .map_err(ServiceError::Replay)
+    }
+}
+
+/// Per-worker lifetime counters, returned by [`ReplayService::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// SKU name of the worker's shard.
+    pub sku: &'static str,
+    /// Worker index within the shard.
+    pub worker: usize,
+    /// Jobs served (each job is one submit, possibly a batch).
+    pub jobs: u64,
+    /// Batch elements replayed across all jobs.
+    pub elements: u64,
+    /// Jobs answered with an error (worker survived them).
+    pub errors: u64,
+}
+
+struct Job {
+    recording: usize,
+    ios: Vec<ReplayIo>,
+    reply: Sender<Result<BatchOutcome, ReplayError>>,
+}
+
+struct Shard {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+}
+
+/// Builds a [`ReplayService`] shard by shard.
+#[derive(Default)]
+pub struct ReplayServiceBuilder {
+    shards: Vec<ShardSpec>,
+}
+
+impl ReplayServiceBuilder {
+    /// Adds a shard.
+    #[must_use]
+    pub fn shard(mut self, spec: ShardSpec) -> ReplayServiceBuilder {
+        self.shards.push(spec);
+        self
+    }
+
+    /// Spawns every shard's workers and blocks until each has acquired
+    /// its GPU and loaded (verified) all recordings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Startup`] when any worker fails to warm
+    /// up; already-spawned workers are shut down first.
+    pub fn spawn(self) -> Result<ReplayService, ServiceError> {
+        let mut shards: HashMap<&'static str, Shard> = HashMap::new();
+        for spec in self.shards {
+            if shards.contains_key(spec.sku.name) {
+                // Silently replacing a shard would orphan its warmed
+                // workers; make the misconfiguration loud instead.
+                let err = ServiceError::DuplicateShard(spec.sku.name.to_string());
+                ReplayService { shards }.shutdown();
+                return Err(err);
+            }
+            let (tx, rx) = channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            let blobs = Arc::new(spec.recordings.clone());
+            let (ready_tx, ready_rx) = channel::<Result<(), ReplayError>>();
+            let mut workers = Vec::with_capacity(spec.workers);
+            for w in 0..spec.workers {
+                let rx = Arc::clone(&rx);
+                let blobs = Arc::clone(&blobs);
+                let ready = ready_tx.clone();
+                let (sku, env, seed) = (spec.sku, spec.env, spec.seed + w as u64);
+                workers.push(std::thread::spawn(move || {
+                    worker_main(sku, env, seed, w, &blobs, &rx, &ready)
+                }));
+            }
+            drop(ready_tx);
+            let mut startup_err = None;
+            for _ in 0..spec.workers {
+                match ready_rx.recv() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => startup_err = Some(ServiceError::Startup(e)),
+                    Err(_) => startup_err = Some(ServiceError::WorkerLost),
+                }
+            }
+            let shard = Shard { tx, workers };
+            if let Some(err) = startup_err {
+                drop(shard.tx);
+                for h in shard.workers {
+                    let _ = h.join();
+                }
+                let service = ReplayService { shards };
+                service.shutdown();
+                return Err(err);
+            }
+            shards.insert(spec.sku.name, shard);
+        }
+        Ok(ReplayService { shards })
+    }
+}
+
+fn worker_main(
+    sku: &'static GpuSku,
+    env_kind: EnvKind,
+    seed: u64,
+    worker: usize,
+    blobs: &[Vec<u8>],
+    jobs: &Mutex<Receiver<Job>>,
+    ready: &Sender<Result<(), ReplayError>>,
+) -> WorkerStats {
+    let mut stats = WorkerStats {
+        sku: sku.name,
+        worker,
+        jobs: 0,
+        elements: 0,
+        errors: 0,
+    };
+    let machine = Machine::new(sku, seed);
+    let env = match Environment::new(env_kind, machine) {
+        Ok(env) => env,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return stats;
+        }
+    };
+    let mut replayer = Replayer::new(env);
+    for blob in blobs {
+        if let Err(e) = replayer.load_bytes(blob) {
+            let _ = ready.send(Err(e));
+            return stats;
+        }
+    }
+    let _ = ready.send(Ok(()));
+
+    loop {
+        // Take the queue lock only to dequeue; processing runs unlocked so
+        // shard workers replay in parallel.
+        let job = match jobs.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break,
+        };
+        let Ok(mut job) = job else {
+            break; // all senders gone: shutdown
+        };
+        stats.jobs += 1;
+        match replayer.replay_batch(job.recording, &mut job.ios) {
+            Ok(report) => {
+                stats.elements += report.elements as u64;
+                let _ = job.reply.send(Ok(BatchOutcome {
+                    ios: job.ios,
+                    report,
+                    worker,
+                }));
+            }
+            Err(e) => {
+                // The request was bad or the replay failed terminally;
+                // the warm machine re-runs its recorded reset prologue on
+                // the next job, so the worker keeps serving.
+                stats.errors += 1;
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+    replayer.cleanup();
+    stats
+}
+
+/// The running service: sharded warm machines behind submission queues.
+pub struct ReplayService {
+    shards: HashMap<&'static str, Shard>,
+}
+
+impl std::fmt::Debug for ReplayService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.shards.keys().copied().collect();
+        names.sort_unstable();
+        f.debug_struct("ReplayService")
+            .field("shards", &names)
+            .finish()
+    }
+}
+
+impl ReplayService {
+    /// Starts building a service.
+    pub fn builder() -> ReplayServiceBuilder {
+        ReplayServiceBuilder::default()
+    }
+
+    /// SKU names with a live shard.
+    pub fn skus(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.shards.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Enqueues a job: replay `recording` for every element of `ios` on
+    /// shard `sku` (one element is a plain replay; more form a batch that
+    /// amortizes the warm-machine prologue).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSku`] / [`ServiceError::WorkerLost`]; replay
+    /// and validation failures surface on the ticket instead, leaving the
+    /// worker alive.
+    pub fn submit(
+        &self,
+        sku: &str,
+        recording: usize,
+        ios: Vec<ReplayIo>,
+    ) -> Result<Ticket, ServiceError> {
+        let shard = self
+            .shards
+            .get(sku)
+            .ok_or_else(|| ServiceError::UnknownSku(sku.to_string()))?;
+        let (reply, rx) = channel();
+        shard
+            .tx
+            .send(Job {
+                recording,
+                ios,
+                reply,
+            })
+            .map_err(|_| ServiceError::WorkerLost)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayService::submit`] and [`Ticket::wait`].
+    pub fn run(
+        &self,
+        sku: &str,
+        recording: usize,
+        ios: Vec<ReplayIo>,
+    ) -> Result<BatchOutcome, ServiceError> {
+        self.submit(sku, recording, ios)?.wait()
+    }
+
+    /// Stops accepting jobs, drains the queues, joins every worker, and
+    /// returns their lifetime stats (sorted by SKU then worker index).
+    pub fn shutdown(self) -> Vec<WorkerStats> {
+        let mut stats = Vec::new();
+        for (_, shard) in self.shards {
+            drop(shard.tx);
+            for handle in shard.workers {
+                if let Ok(s) = handle.join() {
+                    stats.push(s);
+                }
+            }
+        }
+        stats.sort_by(|a, b| (a.sku, a.worker).cmp(&(b.sku, b.worker)));
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_mlfw::cpu_ref;
+    use gr_mlfw::fusion::Granularity;
+    use gr_mlfw::models;
+    use gr_recorder::RecordHarness;
+    use gr_recording::Recording;
+    use gr_sim::SimRng;
+
+    fn random_input(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| rng.unit_f64() as f32).collect()
+    }
+
+    fn record_mnist(sku: &'static GpuSku, seed: u64) -> (Vec<u8>, gr_mlfw::exec::GpuNetwork) {
+        let dev = Machine::new(sku, seed);
+        let mut harness = RecordHarness::new(dev).unwrap();
+        let recs = harness
+            .record_inference(&models::mnist(), Granularity::WholeNn, seed)
+            .unwrap();
+        let bytes = recs.recordings[0].to_bytes();
+        harness.finish();
+        (bytes, recs.net)
+    }
+
+    fn io_for(blob: &[u8], input: &[f32]) -> ReplayIo {
+        let rec = Recording::from_bytes(blob).unwrap();
+        let mut io = ReplayIo::for_recording(&rec);
+        io.set_input_f32(0, input).unwrap();
+        io
+    }
+
+    #[test]
+    fn sharded_service_replays_batches_on_both_skus() {
+        let (mali_blob, mali_net) = record_mnist(&gr_gpu::sku::MALI_G71, 41);
+        let (v3d_blob, v3d_net) = record_mnist(&gr_gpu::sku::V3D_RPI4, 43);
+        let service = ReplayService::builder()
+            .shard(
+                ShardSpec::new(
+                    &gr_gpu::sku::MALI_G71,
+                    EnvKind::UserLevel,
+                    vec![mali_blob.clone()],
+                )
+                .workers(2),
+            )
+            .shard(ShardSpec::new(
+                &gr_gpu::sku::V3D_RPI4,
+                EnvKind::KernelLevel,
+                vec![v3d_blob.clone()],
+            ))
+            .spawn()
+            .unwrap();
+        assert_eq!(service.skus(), vec!["G71", "v3d"]);
+
+        // Queue jobs on both shards before collecting any result.
+        let mut tickets = Vec::new();
+        let mut expected = Vec::new();
+        for seed in 0..6u64 {
+            let (sku, blob, net) = if seed % 2 == 0 {
+                ("G71", &mali_blob, &mali_net)
+            } else {
+                ("v3d", &v3d_blob, &v3d_net)
+            };
+            let inputs: Vec<Vec<f32>> = (0..3)
+                .map(|k| random_input(net.input_len(), 100 + seed * 10 + k))
+                .collect();
+            let ios: Vec<ReplayIo> = inputs.iter().map(|i| io_for(blob, i)).collect();
+            tickets.push(service.submit(sku, 0, ios).unwrap());
+            expected.push(
+                inputs
+                    .iter()
+                    .map(|i| cpu_ref::cpu_infer(net, i))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            let outcome = ticket.wait().unwrap();
+            assert!(outcome.report.amortized, "MNIST recording must batch");
+            assert_eq!(outcome.ios.len(), want.len());
+            for (io, w) in outcome.ios.iter().zip(&want) {
+                assert_eq!(io.output_f32(0).unwrap(), *w, "bit-exact batch output");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 6);
+        assert_eq!(stats.iter().map(|s| s.elements).sum::<u64>(), 18);
+        assert_eq!(stats.iter().map(|s| s.errors).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn malformed_requests_do_not_kill_workers() {
+        let (blob, net) = record_mnist(&gr_gpu::sku::MALI_G71, 47);
+        let service = ReplayService::builder()
+            .shard(ShardSpec::new(
+                &gr_gpu::sku::MALI_G71,
+                EnvKind::UserLevel,
+                vec![blob.clone()],
+            ))
+            .spawn()
+            .unwrap();
+
+        // Wrong input byte size.
+        let rec = Recording::from_bytes(&blob).unwrap();
+        let mut bad = ReplayIo::for_recording(&rec);
+        bad.inputs[0] = vec![0u8; 3];
+        let err = service.run("G71", 0, vec![bad]).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Replay(ReplayError::Io(_))),
+            "{err}"
+        );
+
+        // Unknown recording id.
+        let io = io_for(&blob, &random_input(net.input_len(), 1));
+        let err = service.run("G71", 7, vec![io]).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Replay(ReplayError::BadRecording(7))),
+            "{err}"
+        );
+
+        // Empty batch.
+        let err = service.run("G71", 0, vec![]).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Replay(ReplayError::Io(_))),
+            "{err}"
+        );
+
+        // Unknown SKU is a submit-side error.
+        assert!(matches!(
+            service.submit("adreno", 0, vec![]),
+            Err(ServiceError::UnknownSku(_))
+        ));
+
+        // The same worker still serves a well-formed request afterwards.
+        let input = random_input(net.input_len(), 9);
+        let outcome = service.run("G71", 0, vec![io_for(&blob, &input)]).unwrap();
+        assert_eq!(
+            outcome.ios[0].output_f32(0).unwrap(),
+            cpu_ref::cpu_infer(&net, &input)
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].errors, 3);
+        assert_eq!(stats[0].jobs, 4);
+    }
+
+    #[test]
+    fn duplicate_shards_are_rejected_at_spawn() {
+        let (blob, _) = record_mnist(&gr_gpu::sku::MALI_G71, 53);
+        let err = ReplayService::builder()
+            .shard(ShardSpec::new(
+                &gr_gpu::sku::MALI_G71,
+                EnvKind::UserLevel,
+                vec![blob.clone()],
+            ))
+            .shard(ShardSpec::new(
+                &gr_gpu::sku::MALI_G71,
+                EnvKind::UserLevel,
+                vec![blob],
+            ))
+            .spawn()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::DuplicateShard(_)), "{err}");
+    }
+
+    #[test]
+    fn startup_failure_surfaces_at_spawn() {
+        // A recording for the wrong family fails each worker's load.
+        let (blob, _) = record_mnist(&gr_gpu::sku::MALI_G71, 51);
+        let err = ReplayService::builder()
+            .shard(ShardSpec::new(
+                &gr_gpu::sku::V3D_RPI4,
+                EnvKind::KernelLevel,
+                vec![blob],
+            ))
+            .spawn()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Startup(_)), "{err}");
+    }
+}

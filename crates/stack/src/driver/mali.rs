@@ -313,6 +313,11 @@ impl MaliDriver {
         if let Some(h) = &self.hooks {
             h.unmap(va);
         }
+        // Architectural TLB shootdown: clearing PTEs alone leaves stale
+        // translations in the GPU TLB, which becomes a use-after-free the
+        // moment the VA space recycles this range (kbase flushes the AS on
+        // every region teardown for the same reason).
+        self.wr(r::AS0_COMMAND, r::AS_CMD_FLUSH);
         self.rss.free(4 * 1024);
         Ok(())
     }

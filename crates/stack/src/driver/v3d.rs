@@ -257,6 +257,12 @@ impl V3dDriver {
         if let Some(h) = &self.hooks {
             h.unmap(va);
         }
+        // Architectural TLB shootdown (see MaliDriver::free_region): the
+        // v3d equivalent is the self-clearing MMU_CTRL TLB-clear bit.
+        self.wr(
+            r::MMU_CTRL,
+            self.machine.gpu_read32(r::MMU_CTRL) | r::MMU_CTRL_TLB_CLEAR,
+        );
         Ok(())
     }
 

@@ -37,7 +37,11 @@ impl Region {
     }
 }
 
-/// Bump-allocated GPU VA space with a region table.
+/// GPU VA space with a region table: bump-allocated, with exact-fit
+/// recycling of freed ranges. Recycling is only sound because both
+/// drivers issue the architectural TLB shootdown on unmap — a stale
+/// cached translation for a recycled VA would otherwise read or write
+/// freed physical frames.
 #[derive(Debug)]
 pub struct VaSpace {
     next_va: u64,
@@ -45,6 +49,9 @@ pub struct VaSpace {
     regions: BTreeMap<u64, Region>,
     peak_pages: u64,
     mapped_pages: u64,
+    /// Freed `(va, pages)` ranges, reused oldest-first on an exact size
+    /// match (keeps allocation deterministic and fragmentation-free).
+    free: Vec<(u64, usize)>,
 }
 
 impl VaSpace {
@@ -56,15 +63,20 @@ impl VaSpace {
             regions: BTreeMap::new(),
             peak_pages: 0,
             mapped_pages: 0,
+            free: Vec::new(),
         }
     }
 
     /// Reserves `pages` of VA (no mapping yet), returning the base VA.
+    /// Exact-size freed ranges are recycled before the bump pointer grows.
     ///
     /// # Errors
     ///
     /// Returns [`DriverError::OutOfMemory`] when VA space is exhausted.
     pub fn reserve(&mut self, pages: usize) -> Result<u64, DriverError> {
+        if let Some(i) = self.free.iter().position(|&(_, p)| p == pages) {
+            return Ok(self.free.remove(i).0);
+        }
         let bytes = (pages * PAGE_SIZE) as u64;
         if self.next_va + bytes > self.limit {
             return Err(DriverError::OutOfMemory);
@@ -92,6 +104,7 @@ impl VaSpace {
             .remove(&va)
             .ok_or(DriverError::BadAddress(va))?;
         self.mapped_pages -= r.pages as u64;
+        self.free.push((va, r.pages));
         Ok(r)
     }
 
@@ -238,6 +251,22 @@ mod tests {
             vs.remove(0x1000),
             Err(DriverError::BadAddress(0x1000))
         ));
+    }
+
+    #[test]
+    fn freed_ranges_recycle_on_exact_size_match() {
+        let mut vs = VaSpace::new(0x10_0000, 1 << 30);
+        let a = vs.reserve(2).unwrap();
+        vs.insert(region(a, 2, 0x100_0000));
+        let b = vs.reserve(1).unwrap();
+        vs.insert(region(b, 1, 0x200_0000));
+        vs.remove(a).unwrap();
+        // No exact match for 3 pages: bump allocation continues.
+        assert_eq!(vs.reserve(3).unwrap(), b + PAGE_SIZE as u64);
+        // Exact match: the freed 2-page range comes back.
+        assert_eq!(vs.reserve(2).unwrap(), a);
+        // And is gone from the free list afterwards.
+        assert_ne!(vs.reserve(2).unwrap(), a);
     }
 
     #[test]

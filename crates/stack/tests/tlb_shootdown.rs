@@ -1,0 +1,108 @@
+//! Regression tests for the driver TLB-shootdown bugfix: unmapping a
+//! region must issue the architectural flush (Mali `AS_CMD_FLUSH`, v3d
+//! `MMU_CTRL` TLB-clear) so that a *recycled* VA observes its new mapping.
+//!
+//! Before the fix the stack drivers cleared PTEs without any shootdown,
+//! which was only correct because the VA space never reused addresses.
+//! With exact-fit VA recycling in `VaSpace`, a stale cached translation
+//! would silently write the freed physical frame instead of the new one.
+
+use gr_gpu::mali::jobs::JobHeader;
+use gr_gpu::sku::{MALI_G71, V3D_RPI4};
+use gr_gpu::timing::JobCost;
+use gr_gpu::v3d::cl::ClWriter;
+use gr_gpu::vm::bytecode::KernelOp;
+use gr_gpu::Machine;
+use gr_stack::driver::{MaliDriver, RegionKind, V3dDriver};
+
+fn f32s_of(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn mali_recycled_va_observes_new_mapping() {
+    let machine = Machine::new(&MALI_G71, 31);
+    let mut drv = MaliDriver::probe(machine, None, true).unwrap();
+    let chain = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
+    let data = drv.alloc_region(1, RegionKind::Data).unwrap();
+
+    fn run_fill(drv: &mut MaliDriver, chain: u64, out: u64, value: f32) {
+        let blob = KernelOp::Fill { out, n: 4, value }.encode();
+        let header = JobHeader {
+            next_va: 0,
+            shader_va: chain + 0x100,
+            shader_len: blob.len() as u32,
+            cost: JobCost {
+                flops: 4,
+                bytes: 16,
+            },
+        };
+        drv.mmap_write(chain, &header.encode()).unwrap();
+        drv.mmap_write(chain + 0x100, &blob).unwrap();
+        drv.submit(chain).unwrap();
+    }
+
+    // Warm the device TLB: a job writes through `data`'s translation.
+    run_fill(&mut drv, chain, data, 1.0);
+
+    // Free the region and allocate again: the VA is recycled while the
+    // backing frame changes (the frame allocator's rotating cursor never
+    // hands the freed frame straight back).
+    drv.free_region(data).unwrap();
+    let data2 = drv.alloc_region(1, RegionKind::Data).unwrap();
+    assert_eq!(data2, data, "exact-fit recycling must reuse the VA");
+
+    run_fill(&mut drv, chain, data2, 2.0);
+    let mut out = vec![0u8; 16];
+    drv.read_gpu(data2, &mut out).unwrap();
+    assert_eq!(
+        f32s_of(&out),
+        vec![2.0; 4],
+        "stale TLB entry served the freed frame"
+    );
+    drv.teardown();
+}
+
+#[test]
+fn v3d_recycled_va_observes_new_mapping() {
+    let machine = Machine::new(&V3D_RPI4, 33);
+    let mut drv = V3dDriver::probe(machine, None).unwrap();
+    let binv = drv.alloc_region(1, RegionKind::JobBinary).unwrap();
+    let data = drv.alloc_region(1, RegionKind::Data).unwrap();
+
+    fn run_fill(drv: &mut V3dDriver, binv: u64, out: u64, value: f32) {
+        let blob = KernelOp::Fill { out, n: 4, value }.encode();
+        drv.mmap_write(binv + 0x200, &blob).unwrap();
+        let mut w = ClWriter::new();
+        w.run_shader(
+            binv + 0x200,
+            blob.len() as u32,
+            JobCost {
+                flops: 4,
+                bytes: 16,
+            },
+        );
+        let cl = w.finish();
+        drv.mmap_write(binv, &cl).unwrap();
+        drv.submit(binv, cl.len() as u32).unwrap();
+    }
+
+    run_fill(&mut drv, binv, data, 1.0);
+
+    drv.free_region(data).unwrap();
+    let data2 = drv.alloc_region(1, RegionKind::Data).unwrap();
+    assert_eq!(data2, data, "exact-fit recycling must reuse the VA");
+
+    run_fill(&mut drv, binv, data2, 2.0);
+    let mut out = vec![0u8; 16];
+    drv.read_gpu(data2, &mut out).unwrap();
+    assert_eq!(
+        f32s_of(&out),
+        vec![2.0; 4],
+        "stale TLB entry served the freed frame"
+    );
+    drv.teardown();
+}

@@ -43,13 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lease.grant();
         }
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &img);
-        io.set_input_f32(1, &[3.0]);
+        io.set_input_f32(0, &img).unwrap();
+        io.set_input_f32(1, &[3.0]).unwrap();
         io.inputs[2] = weights[0].clone();
         io.inputs[3] = weights[1].clone();
         io.inputs[4] = weights[2].clone();
         replayer.replay(id, &mut io)?;
-        let probs = io.output_f32(0);
+        let probs = io.output_f32(0).unwrap();
         weights[0] = io.outputs[1].clone();
         weights[1] = io.outputs[2].clone();
         weights[2] = io.outputs[3].clone();

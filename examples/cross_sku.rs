@@ -24,12 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => println!("{label}: rejected at load ({e})"),
             Ok(id) => {
                 let mut io = ReplayIo::for_recording(replayer.recording(id));
-                io.set_input_f32(0, &a);
-                io.set_input_f32(1, &b);
+                io.set_input_f32(0, &a).unwrap();
+                io.set_input_f32(1, &b).unwrap();
                 match replayer.replay(id, &mut io) {
                     Err(e) => println!("{label}: replay failed ({e})"),
                     Ok(report) => {
-                        let out = io.output_f32(0);
+                        let out = io.output_f32(0).unwrap();
                         assert!(out.iter().all(|&v| (v - 3.75).abs() < 1e-6));
                         println!(
                             "{label}: correct result, exec {}",

@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let input = vec![0.25f32; input_len];
     let mut io = ReplayIo::for_recording(replayer.recording(id));
-    io.set_input_f32(0, &input);
+    io.set_input_f32(0, &input).unwrap();
     let report = replayer.replay(id, &mut io)?;
-    let logits = io.output_f32(0);
+    let logits = io.output_f32(0).unwrap();
     println!(
         "replayed {} actions / {} jobs in {} (startup {})",
         report.actions, report.jobs, report.wall, report.startup

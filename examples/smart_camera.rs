@@ -33,9 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for frame in 0..5 {
         let pixels: Vec<f32> = (0..input_len).map(|_| rng.unit_f64() as f32).collect();
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &pixels);
+        io.set_input_f32(0, &pixels).unwrap();
         let report = replayer.replay(id, &mut io)?;
-        let feat = io.output_f32(0);
+        let feat = io.output_f32(0).unwrap();
         let activation: f32 = feat.iter().map(|v| v.abs()).sum::<f32>() / feat.len() as f32;
         println!(
             "frame {frame}: {} jobs in {}, mean feature activation {activation:.4}",

@@ -43,9 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let id = replayer.load_bytes(&blob)?;
     let secret_face = vec![0.37f32; input_len];
     let mut io = ReplayIo::for_recording(replayer.recording(id));
-    io.set_input_f32(0, &secret_face);
+    io.set_input_f32(0, &secret_face).unwrap();
     let report = replayer.replay(id, &mut io)?;
-    let embedding = io.output_f32(0);
+    let embedding = io.output_f32(0).unwrap();
     println!(
         "secure inference: {} jobs in {}, embedding dim {} (norm {:.4})",
         report.jobs,

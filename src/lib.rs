@@ -28,9 +28,9 @@
 //! let mut replayer = Replayer::new(env);
 //! let id = replayer.load_bytes(&bytes)?;
 //! let mut io = ReplayIo::for_recording(replayer.recording(id));
-//! io.set_input_f32(0, &vec![0.5; 784]);
+//! io.set_input_f32(0, &vec![0.5; 784])?;
 //! replayer.replay(id, &mut io)?;
-//! println!("logits: {:?}", io.output_f32(0));
+//! println!("logits: {:?}", io.output_f32(0)?);
 //! # Ok(()) }
 //! ```
 
@@ -39,6 +39,7 @@ pub use gr_mlfw as mlfw;
 pub use gr_recorder as recorder;
 pub use gr_recording as recording;
 pub use gr_replayer as replayer;
+pub use gr_service as service;
 pub use gr_sim as sim;
 pub use gr_soc as soc;
 pub use gr_stack as stack;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use gr_recorder::RecordHarness;
     pub use gr_recording::Recording;
     pub use gr_replayer::{
-        patch_recording, EnvKind, Environment, PatchOptions, ReplayIo, Replayer,
+        patch_recording, BatchReport, EnvKind, Environment, PatchOptions, ReplayIo, Replayer,
     };
+    pub use gr_service::{ReplayService, ShardSpec};
 }

@@ -1,0 +1,334 @@
+//! Batched warm-machine replay: `replay_batch` must be bit-identical to N
+//! fresh sequential `replay()` calls on both SKUs (proptest), and §5.4
+//! recovery inside a batch must resume cleanly without poisoning later
+//! elements.
+
+use std::sync::OnceLock;
+
+use gpureplay::prelude::*;
+use gr_gpu::{FaultKind, GpuSku};
+use gr_mlfw::cpu_ref;
+use gr_mlfw::exec::GpuNetwork;
+use gr_sim::SimRng;
+use proptest::prelude::*;
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+struct Recorded {
+    bytes: Vec<u8>,
+    net: GpuNetwork,
+}
+
+fn recorded(sku: &'static GpuSku, seed: u64) -> Recorded {
+    let dev = Machine::new(sku, seed);
+    let mut harness = RecordHarness::new(dev).unwrap();
+    let recs = harness
+        .record_inference(&models::mnist(), Granularity::WholeNn, seed)
+        .unwrap();
+    let bytes = recs.recordings[0].to_bytes();
+    harness.finish();
+    Recorded {
+        bytes,
+        net: recs.net,
+    }
+}
+
+fn mali() -> &'static Recorded {
+    static REC: OnceLock<Recorded> = OnceLock::new();
+    REC.get_or_init(|| recorded(&sku::MALI_G71, 61))
+}
+
+fn v3d() -> &'static Recorded {
+    static REC: OnceLock<Recorded> = OnceLock::new();
+    REC.get_or_init(|| recorded(&sku::V3D_RPI4, 63))
+}
+
+/// DRAM for proptest machines: MNIST maps ~5 MiB, so 32 MiB is ample and
+/// keeps the 256-case campaign from memsetting gigabytes.
+const TEST_DRAM: usize = 32 * 1024 * 1024;
+
+/// Replays `inputs` as one warm batch and as fresh sequential replays;
+/// asserts all three agree (batch == sequential == CPU reference).
+fn check_batch_vs_sequential(
+    sku_ref: &'static GpuSku,
+    env: EnvKind,
+    rec: &Recorded,
+    inputs: &[Vec<f32>],
+    seed: u64,
+) {
+    // Batched, one warm machine.
+    let machine = Machine::with_dram(sku_ref, seed, TEST_DRAM);
+    let environment = Environment::new(env, machine).unwrap();
+    let mut replayer = Replayer::new(environment);
+    let id = replayer.load_bytes(&rec.bytes).unwrap();
+    let mut ios: Vec<ReplayIo> = inputs
+        .iter()
+        .map(|input| {
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, input).unwrap();
+            io
+        })
+        .collect();
+    let report = replayer.replay_batch(id, &mut ios).unwrap();
+    assert!(report.amortized, "MNIST recordings must admit the split");
+    assert_eq!(report.elements, inputs.len());
+    replayer.cleanup();
+
+    // Fresh sequential replays on a cold machine with different jitter.
+    let machine = Machine::with_dram(sku_ref, seed ^ 0xA5A5, TEST_DRAM);
+    let environment = Environment::new(env, machine).unwrap();
+    let mut replayer = Replayer::new(environment);
+    let id = replayer.load_bytes(&rec.bytes).unwrap();
+    for (k, input) in inputs.iter().enumerate() {
+        let mut io = ReplayIo::for_recording(replayer.recording(id));
+        io.set_input_f32(0, input).unwrap();
+        replayer.replay(id, &mut io).unwrap();
+        let fresh = io.output_f32(0).unwrap();
+        let batched = ios[k].output_f32(0).unwrap();
+        assert_eq!(batched, fresh, "element {k}: batch diverged from fresh");
+        assert_eq!(
+            fresh,
+            cpu_ref::cpu_infer(&rec.net, input),
+            "element {k}: replay diverged from CPU reference"
+        );
+    }
+    replayer.cleanup();
+}
+
+/// Each replayed MNIST inference costs tens of milliseconds in debug
+/// builds; cap the campaign at this many (deterministic) cases per
+/// property so the tier-1 suite stays fast. Raise locally for deeper runs.
+const MAX_HEAVY_CASES: usize = 40;
+
+proptest! {
+    #[test]
+    fn mali_batch_bit_identical_to_sequential(n in 1usize..5, seed in 0u64..1_000_000) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASES_RUN: AtomicUsize = AtomicUsize::new(0);
+        if CASES_RUN.fetch_add(1, Ordering::Relaxed) >= MAX_HEAVY_CASES {
+            return;
+        }
+        let rec = mali();
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|k| random_input(rec.net.input_len(), seed.wrapping_add(k as u64 * 7919)))
+            .collect();
+        check_batch_vs_sequential(&sku::MALI_G71, EnvKind::UserLevel, rec, &inputs, seed | 1);
+    }
+
+    #[test]
+    fn v3d_batch_bit_identical_to_sequential(n in 1usize..5, seed in 0u64..1_000_000) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASES_RUN: AtomicUsize = AtomicUsize::new(0);
+        if CASES_RUN.fetch_add(1, Ordering::Relaxed) >= MAX_HEAVY_CASES {
+            return;
+        }
+        let rec = v3d();
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|k| random_input(rec.net.input_len(), seed.wrapping_add(k as u64 * 104729)))
+            .collect();
+        check_batch_vs_sequential(&sku::V3D_RPI4, EnvKind::KernelLevel, rec, &inputs, seed | 1);
+    }
+}
+
+/// §5.4 recovery inside a batch: a transient core glitch faults one
+/// element's job; the replayer resets, re-runs the prologue to restore
+/// warm state, retries that element, and later elements replay untouched.
+#[test]
+fn fault_mid_batch_recovers_without_poisoning_later_elements() {
+    let rec = mali();
+    let machine = Machine::new(&sku::MALI_G71, 71);
+    let environment = Environment::new(EnvKind::UserLevel, machine.clone()).unwrap();
+    let mut replayer = Replayer::new(environment);
+    let id = replayer.load_bytes(&rec.bytes).unwrap();
+
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|k| random_input(rec.net.input_len(), 500 + k))
+        .collect();
+    let mut ios: Vec<ReplayIo> = inputs
+        .iter()
+        .map(|input| {
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, input).unwrap();
+            io
+        })
+        .collect();
+
+    // Armed glitch: the next *started* job fails once, then clears — it
+    // will hit the first element's first kick, mid-batch after the warm
+    // prologue already ran.
+    machine.inject_fault(FaultKind::OfflineCores { mask: 0xFF });
+    let report = replayer.replay_batch(id, &mut ios).unwrap();
+    assert!(report.amortized);
+    assert!(report.retries >= 1, "the glitch must force a §5.4 retry");
+    for (k, input) in inputs.iter().enumerate() {
+        assert_eq!(
+            ios[k].output_f32(0).unwrap(),
+            cpu_ref::cpu_infer(&rec.net, input),
+            "element {k} poisoned by mid-batch recovery"
+        );
+    }
+
+    // A corrupted PTE mid-session: recovery rebuilds the tables and the
+    // rest of the batch stays correct.
+    machine.inject_fault(FaultKind::CorruptPte {
+        va: rec.net.input_va,
+    });
+    let mut ios2: Vec<ReplayIo> = inputs
+        .iter()
+        .map(|input| {
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, input).unwrap();
+            io
+        })
+        .collect();
+    let report2 = replayer.replay_batch(id, &mut ios2).unwrap();
+    assert!(report2.retries >= 1, "corrupt PTE must force recovery");
+    for (k, input) in inputs.iter().enumerate() {
+        assert_eq!(
+            ios2[k].output_f32(0).unwrap(),
+            cpu_ref::cpu_infer(&rec.net, input),
+            "element {k} poisoned after PTE recovery"
+        );
+    }
+    replayer.cleanup();
+}
+
+/// Multi-input recordings batch too: every element re-copies all of its
+/// input slots in the suffix.
+#[test]
+fn multi_input_vecadd_batches_correctly() {
+    let dev = Machine::new(&sku::MALI_G71, 77);
+    let mut harness = RecordHarness::new(dev).unwrap();
+    let rec = harness.record_vecadd(64, 64, 5).unwrap();
+    harness.finish();
+
+    let target = Machine::new(&sku::MALI_G71, 78);
+    let env = Environment::new(EnvKind::UserLevel, target).unwrap();
+    let mut replayer = Replayer::new(env);
+    let id = replayer.load(rec).unwrap();
+    let a = random_input(64, 1);
+    let b = random_input(64, 2);
+    let expected: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+    let mut ios: Vec<ReplayIo> = (0..3)
+        .map(|_| {
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, &a).unwrap();
+            io.set_input_f32(1, &b).unwrap();
+            io
+        })
+        .collect();
+    let report = replayer.replay_batch(id, &mut ios).unwrap();
+    assert_eq!(report.elements, 3);
+    for io in &ios {
+        assert_eq!(io.output_f32(0).unwrap(), expected);
+    }
+    replayer.cleanup();
+}
+
+/// Dead-upload elision: a dump fully overwritten by the input copy before
+/// any job is skipped at replay — same outputs, strictly less virtual
+/// time than the identical recording where the upload stays live.
+#[test]
+fn dead_upload_is_elided_at_replay() {
+    use gpureplay::recording::{Action, Dump, IoSlot, RecordingMeta, TimedAction};
+    const PAGES: usize = 256; // 1 MiB dump => ~0.5 ms upload at 2 GB/s
+    let build = |keep_alive: bool| {
+        let mut rec = Recording::new(RecordingMeta::new(
+            "mali",
+            "G71",
+            sku::MALI_G71.gpu_id,
+            "dead-upload",
+        ));
+        rec.actions.push(TimedAction::immediate(Action::MapGpuMem {
+            va: 0x10_0000,
+            pte_flags: vec![0xF; PAGES],
+        }));
+        rec.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![0xEE; PAGES * 4096],
+        });
+        rec.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_0000,
+            len: (PAGES * 4096) as u32,
+        });
+        rec.outputs.push(IoSlot {
+            name: "out".into(),
+            va: 0x10_0000,
+            len: 64,
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        if keep_alive {
+            // A register read between upload and input copy could observe
+            // the uploaded bytes: the verifier must keep the upload live.
+            rec.actions
+                .push(TimedAction::immediate(Action::RegReadOnce {
+                    reg: 0, // GPU_ID
+                    expect: sku::MALI_G71.gpu_id,
+                    ignore: false,
+                }));
+        }
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyFromGpu { slot: 0 }));
+        rec
+    };
+    let run = |keep_alive: bool| {
+        let machine = Machine::new(&sku::MALI_G71, 91);
+        let env = Environment::new(EnvKind::UserLevel, machine).unwrap();
+        let mut replayer = Replayer::new(env);
+        let id = replayer.load(build(keep_alive)).unwrap();
+        let mut io = ReplayIo::for_recording(replayer.recording(id));
+        io.inputs[0] = (0..PAGES * 4096).map(|i| i as u8).collect();
+        let report = replayer.replay(id, &mut io).unwrap();
+        // The input copy always wins over the (possibly elided) upload.
+        assert_eq!(&io.outputs[0][..4], &[0, 1, 2, 3]);
+        replayer.cleanup();
+        report.wall
+    };
+    let live = run(true);
+    let dead = run(false);
+    assert!(
+        live.as_nanos() > dead.as_nanos() + 400_000,
+        "eliding a 1 MiB dead upload must save its ~0.5 ms transfer: live {live}, dead {dead}"
+    );
+}
+
+/// A recording with no `CopyToGpu` has nothing to amortize per element:
+/// `replay_batch` falls back to full per-element replays.
+#[test]
+fn unbatchable_recording_falls_back_to_full_replays() {
+    use gpureplay::recording::{Action, Dump, RecordingMeta, TimedAction};
+    let mut rec = Recording::new(RecordingMeta::new(
+        "mali",
+        "G71",
+        sku::MALI_G71.gpu_id,
+        "fallback",
+    ));
+    rec.actions.push(TimedAction::immediate(Action::MapGpuMem {
+        va: 0x10_0000,
+        pte_flags: vec![0xF],
+    }));
+    rec.dumps.push(Dump {
+        va: 0x10_0000,
+        bytes: vec![7u8; 64],
+    });
+    rec.actions
+        .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+
+    let machine = Machine::new(&sku::MALI_G71, 81);
+    let env = Environment::new(EnvKind::UserLevel, machine).unwrap();
+    let mut replayer = Replayer::new(env);
+    let id = replayer.load(rec).unwrap();
+    let mut ios = vec![ReplayIo::default(), ReplayIo::default()];
+    let report = replayer.replay_batch(id, &mut ios).unwrap();
+    assert!(!report.amortized, "no input copy, nothing to amortize");
+    assert_eq!(report.elements, 2);
+    assert_eq!(report.prologue_actions, 0);
+    replayer.cleanup();
+}

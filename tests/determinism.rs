@@ -103,9 +103,9 @@ fn loaded_recording_replays_identically_to_original() {
             "replay actions must survive the codec"
         );
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &input);
+        io.set_input_f32(0, &input).unwrap();
         replayer.replay(id, &mut io).unwrap();
-        outputs.push(io.output_f32(0));
+        outputs.push(io.output_f32(0).unwrap());
         replayer.cleanup();
     }
     assert_eq!(outputs[0], outputs[1], "codec path changed replay output");

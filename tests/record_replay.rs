@@ -32,11 +32,11 @@ fn replay_matches_cpu_reference_on_new_inputs() {
     for seed in [11u64, 12, 13] {
         let input = random_input(net.input_len(), seed);
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &input);
+        io.set_input_f32(0, &input).unwrap();
         let report = replayer.replay(id, &mut io).unwrap();
         assert_eq!(report.retries, 0);
         assert!(report.jobs > 0);
-        let replayed = io.output_f32(0);
+        let replayed = io.output_f32(0).unwrap();
         let reference = cpu_ref::cpu_infer(&net, &input);
         assert_eq!(replayed, reference, "seed {seed}: bit-identical expected");
     }
@@ -61,9 +61,9 @@ fn v3d_record_replay_roundtrip() {
     let id = replayer.load_bytes(&bytes).unwrap();
     let input = random_input(net.input_len(), 5);
     let mut io = ReplayIo::for_recording(replayer.recording(id));
-    io.set_input_f32(0, &input);
+    io.set_input_f32(0, &input).unwrap();
     replayer.replay(id, &mut io).unwrap();
-    assert_eq!(io.output_f32(0), cpu_ref::cpu_infer(&net, &input));
+    assert_eq!(io.output_f32(0).unwrap(), cpu_ref::cpu_infer(&net, &input));
     replayer.cleanup();
 }
 
@@ -92,11 +92,11 @@ fn per_layer_recordings_chain_in_one_session() {
     for (i, &id) in ids.iter().enumerate() {
         let mut io = ReplayIo::for_recording(replayer.recording(id));
         if i == 0 {
-            io.set_input_f32(0, &input);
+            io.set_input_f32(0, &input).unwrap();
         }
         replayer.replay(id, &mut io).unwrap();
         if i + 1 == ids.len() {
-            final_out = io.output_f32(0);
+            final_out = io.output_f32(0).unwrap();
         }
     }
     assert_eq!(final_out, cpu_ref::cpu_infer(&net, &input));
@@ -122,9 +122,13 @@ fn tee_and_baremetal_replay() {
         let id = replayer.load_bytes(&bytes).unwrap();
         let input = random_input(net.input_len(), 17);
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &input);
+        io.set_input_f32(0, &input).unwrap();
         replayer.replay(id, &mut io).unwrap();
-        assert_eq!(io.output_f32(0), cpu_ref::cpu_infer(&net, &input), "{kind}");
+        assert_eq!(
+            io.output_f32(0).unwrap(),
+            cpu_ref::cpu_infer(&net, &input),
+            "{kind}"
+        );
         replayer.cleanup();
     }
 }
@@ -152,18 +156,18 @@ fn replay_recovers_from_injected_faults() {
     // first job fails, the replayer resets and re-executes.
     target.inject_fault(FaultKind::OfflineCores { mask: 0xFF });
     let mut io = ReplayIo::for_recording(replayer.recording(id));
-    io.set_input_f32(0, &input);
+    io.set_input_f32(0, &input).unwrap();
     let report = replayer.replay(id, &mut io).unwrap();
     assert!(report.retries >= 1, "fault must have forced a retry");
-    assert_eq!(io.output_f32(0), cpu_ref::cpu_infer(&net, &input));
+    assert_eq!(io.output_f32(0).unwrap(), cpu_ref::cpu_infer(&net, &input));
 
     // Fault 2: corrupt the PTE of the input buffer mid-session; recovery
     // re-populates the page tables.
     target.inject_fault(FaultKind::CorruptPte { va: net.input_va });
     let mut io2 = ReplayIo::for_recording(replayer.recording(id));
-    io2.set_input_f32(0, &input);
+    io2.set_input_f32(0, &input).unwrap();
     let report2 = replayer.replay(id, &mut io2).unwrap();
-    assert_eq!(io2.output_f32(0), cpu_ref::cpu_infer(&net, &input));
+    assert_eq!(io2.output_f32(0).unwrap(), cpu_ref::cpu_infer(&net, &input));
     assert!(report2.retries <= 2);
     replayer.cleanup();
 }
@@ -188,10 +192,10 @@ fn cross_sku_patching_g31_to_g71() {
             let mut replayer = Replayer::new(env);
             let id = replayer.load(rec.clone())?;
             let mut io = ReplayIo::for_recording(replayer.recording(id));
-            io.set_input_f32(0, &a);
-            io.set_input_f32(1, &b);
+            io.set_input_f32(0, &a).unwrap();
+            io.set_input_f32(1, &b).unwrap();
             let report = replayer.replay(id, &mut io)?;
-            let out = io.output_f32(0);
+            let out = io.output_f32(0).unwrap();
             replayer.cleanup();
             Ok((out, report.wall))
         };
@@ -253,13 +257,13 @@ fn training_iteration_replays_and_learns() {
     let mut last_loss = 0.0;
     for _ in 0..8 {
         let mut io = ReplayIo::for_recording(replayer.recording(id));
-        io.set_input_f32(0, &img);
-        io.set_input_f32(1, &[label]);
+        io.set_input_f32(0, &img).unwrap();
+        io.set_input_f32(1, &[label]).unwrap();
         io.inputs[2] = w[0].clone();
         io.inputs[3] = w[1].clone();
         io.inputs[4] = w[2].clone();
         replayer.replay(id, &mut io).unwrap();
-        let probs = io.output_f32(0);
+        let probs = io.output_f32(0).unwrap();
         // App-side predicate P: extract updated weights, check loss.
         w[0] = io.outputs[1].clone();
         w[1] = io.outputs[2].clone();
