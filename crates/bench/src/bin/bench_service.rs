@@ -1,0 +1,241 @@
+//! Benchmark for the `gr-service` scheduler's dynamic batching.
+//!
+//! Records MNIST once per SKU, then drives a one-worker service at queue
+//! depth 16 two ways:
+//!
+//! * **no coalescing** (`max_batch = 1`) — every queued single-input
+//!   submission runs as its own warm batch, paying the
+//!   reset/upload/remap prologue per request;
+//! * **dynamic batching** (`max_batch = 16`) — the worker drains all 16
+//!   compatible submissions into one `replay_batch` call and pays the
+//!   prologue once.
+//!
+//! Both modes use the same lock-step protocol (pause → submit 16 →
+//! resume → quiesce) so the queue depth at dequeue time is identical;
+//! throughput is measured on the worker machine's *virtual* clock (what
+//! the deterministic cost model says the hardware+software pipeline
+//! takes) plus host wall-clock. Hard-fails unless every output is
+//! bit-identical to the CPU reference and the coalescing speedup is
+//! ≥ 1.5× on every SKU.
+//!
+//! Usage: `bench_service [--smoke] [--out PATH]`
+//!
+//! Writes `BENCH_service.json` at the workspace root (or `PATH`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gr_bench::record_model;
+use gr_gpu::{sku, GpuSku};
+use gr_mlfw::cpu_ref;
+use gr_mlfw::fusion::Granularity;
+use gr_mlfw::models;
+use gr_replayer::{EnvKind, ReplayIo};
+use gr_service::{ReplayRequest, ReplayService, ShardSpec};
+use gr_sim::SimRng;
+
+const DEPTH: usize = 16;
+
+struct CaseResult {
+    sku: &'static str,
+    env: EnvKind,
+    solo_virtual_ms: f64,
+    coalesced_virtual_ms: f64,
+    solo_wall_ms: f64,
+    coalesced_wall_ms: f64,
+    formed_batch: usize,
+}
+
+impl CaseResult {
+    fn virtual_speedup(&self) -> f64 {
+        self.solo_virtual_ms / self.coalesced_virtual_ms
+    }
+    fn wall_speedup(&self) -> f64 {
+        self.solo_wall_ms / self.coalesced_wall_ms
+    }
+}
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+/// Drains `reps` waves of DEPTH queued singles through a one-worker
+/// service with the given batching cap; returns (virtual ms per wave,
+/// best wall ms per wave, largest formed batch).
+fn drive(
+    sku_ref: &'static GpuSku,
+    env: EnvKind,
+    blob: &[u8],
+    inputs: &[Vec<f32>],
+    expected: &[Vec<f32>],
+    max_batch: usize,
+    reps: usize,
+) -> (f64, f64, usize) {
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(sku_ref, env, vec![blob.to_vec()])
+                .queue_cap(DEPTH * 2)
+                .max_batch(max_batch),
+        )
+        .spawn()
+        .expect("spawn service");
+    let machine = service.machines(sku_ref.name).expect("machines")[0].clone();
+
+    // One warm-up wave so both modes start from identical warm state.
+    let rec = gr_recording::Recording::from_bytes(blob).expect("recording");
+    let make_ios = |k: usize| {
+        let mut io = ReplayIo::for_recording(&rec);
+        io.set_input_f32(0, &inputs[k]).expect("input shape");
+        io
+    };
+    service
+        .run(sku_ref.name, 0, vec![make_ios(0)])
+        .expect("warm-up");
+
+    let mut wall_ms = f64::INFINITY;
+    let t0 = machine.now();
+    for rep in 0..reps {
+        service.pause();
+        let tickets: Vec<_> = (0..DEPTH)
+            .map(|k| {
+                service
+                    .submit_request(sku_ref.name, ReplayRequest::single(0, make_ios(k)))
+                    .expect("queue depth fits")
+            })
+            .collect();
+        let w = Instant::now();
+        service.resume();
+        service.quiesce();
+        wall_ms = wall_ms.min(w.elapsed().as_secs_f64() * 1e3);
+        for (k, t) in tickets.into_iter().enumerate() {
+            let outcome = t.wait().expect("replay");
+            if rep == 0 {
+                assert_eq!(
+                    outcome.ios[0].output_f32(0).expect("output"),
+                    expected[k],
+                    "{}: output diverged from CPU reference",
+                    sku_ref.name
+                );
+            }
+        }
+    }
+    let virtual_ms = (machine.now() - t0).as_nanos() as f64 / 1e6 / reps as f64;
+    let stats = service.stats();
+    let formed = stats
+        .shard(sku_ref.name)
+        .map(|s| s.batch_sizes.len())
+        .unwrap_or(0);
+    service.shutdown();
+    (virtual_ms, wall_ms, formed)
+}
+
+fn service_case(sku_ref: &'static GpuSku, env: EnvKind, reps: usize) -> CaseResult {
+    let rm = record_model(sku_ref, &models::mnist(), Granularity::WholeNn, true, 7);
+    let inputs: Vec<Vec<f32>> = (0..DEPTH)
+        .map(|k| random_input(rm.net.input_len(), 3000 + k as u64))
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| cpu_ref::cpu_infer(&rm.net, i))
+        .collect();
+
+    let (solo_virtual_ms, solo_wall_ms, solo_formed) =
+        drive(sku_ref, env, &rm.blobs[0], &inputs, &expected, 1, reps);
+    assert_eq!(solo_formed, 1, "max_batch=1 must never coalesce");
+    let (coalesced_virtual_ms, coalesced_wall_ms, formed_batch) =
+        drive(sku_ref, env, &rm.blobs[0], &inputs, &expected, DEPTH, reps);
+    assert_eq!(
+        formed_batch, DEPTH,
+        "all {DEPTH} queued singles must coalesce into one batch"
+    );
+
+    CaseResult {
+        sku: sku_ref.name,
+        env,
+        solo_virtual_ms,
+        coalesced_virtual_ms,
+        solo_wall_ms,
+        coalesced_wall_ms,
+        formed_batch,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_string()
+        });
+    let reps = if smoke { 2 } else { 10 };
+
+    eprintln!("bench_service: depth-{DEPTH} MNIST queue, Mali G71...");
+    let mali = service_case(&sku::MALI_G71, EnvKind::UserLevel, reps);
+    eprintln!("bench_service: depth-{DEPTH} MNIST queue, v3d...");
+    let v3d = service_case(&sku::V3D_RPI4, EnvKind::KernelLevel, reps);
+
+    let cases = [mali, v3d];
+    let min_virtual = cases
+        .iter()
+        .map(CaseResult::virtual_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_wall = cases
+        .iter()
+        .map(CaseResult::wall_speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut json = String::from("{\n  \"bench\": \"service_dynamic_batching\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"queue_depth\": {DEPTH},");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sku\": \"{}\", \"env\": \"{}\", \
+             \"no_coalescing_virtual_ms\": {:.3}, \"coalesced_virtual_ms\": {:.3}, \
+             \"virtual_speedup\": {:.2}, \
+             \"no_coalescing_wall_ms\": {:.3}, \"coalesced_wall_ms\": {:.3}, \
+             \"wall_speedup\": {:.2}, \
+             \"formed_batch\": {}}}",
+            c.sku,
+            c.env,
+            c.solo_virtual_ms,
+            c.coalesced_virtual_ms,
+            c.virtual_speedup(),
+            c.solo_wall_ms,
+            c.coalesced_wall_ms,
+            c.wall_speedup(),
+            c.formed_batch,
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"min_virtual_speedup\": {min_virtual:.2},");
+    let _ = writeln!(json, "  \"min_wall_speedup\": {min_wall:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    for c in &cases {
+        eprintln!(
+            "  {} ({}): virtual {:.3} -> {:.3} ms per {DEPTH}-deep queue ({:.2}x), wall {:.3} -> {:.3} ms ({:.2}x)",
+            c.sku,
+            c.env,
+            c.solo_virtual_ms,
+            c.coalesced_virtual_ms,
+            c.virtual_speedup(),
+            c.solo_wall_ms,
+            c.coalesced_wall_ms,
+            c.wall_speedup(),
+        );
+    }
+    assert!(
+        min_virtual >= 1.5,
+        "acceptance: dynamic batching must give >= 1.5x throughput at depth {DEPTH}, got {min_virtual:.2}x"
+    );
+}

@@ -42,4 +42,4 @@ pub use error::ReplayError;
 pub use handoff::{preempt_gpu, GpuLease};
 pub use iface::NanoIface;
 pub use patch::{patch_recording, PatchOptions};
-pub use replayer::{BatchReport, ReplayIo, ReplayReport, Replayer};
+pub use replayer::{BatchReport, IsolatedBatchReport, ReplayIo, ReplayReport, Replayer};

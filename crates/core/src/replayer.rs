@@ -115,6 +115,23 @@ pub struct ReplayReport {
     pub startup: SimDuration,
 }
 
+/// Result of a fault-isolated batched replay ([`Replayer::replay_batch_isolated`]).
+///
+/// Element-scoped failures (shape validation, §5.4 recovery exhausted on
+/// one element's suffix) are attributed to the failing element in
+/// `errors` instead of aborting the batch, so a scheduler that coalesced
+/// independent requests can fail exactly the poisoned ticket and answer
+/// the rest from the same warm run.
+#[derive(Debug)]
+pub struct IsolatedBatchReport {
+    /// Aggregate batch report; `elements` counts every element, including
+    /// failed ones (their outputs stay zeroed).
+    pub report: BatchReport,
+    /// Terminal per-element failures, sorted by element index. Empty when
+    /// the whole batch succeeded.
+    pub errors: Vec<(usize, ReplayError)>,
+}
+
 /// Result of a successful batched replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchReport {
@@ -321,30 +338,112 @@ impl Replayer {
         id: usize,
         ios: &mut [ReplayIo],
     ) -> Result<BatchReport, ReplayError> {
+        self.run_batch(id, ios, false).map(|r| r.report)
+    }
+
+    /// Like [`Replayer::replay_batch`], but element failures are isolated:
+    /// a shape-invalid element or one whose §5.4 recovery is exhausted is
+    /// recorded in [`IsolatedBatchReport::errors`] and the machine is
+    /// re-warmed (reset, table rebuild, prologue re-run) before the next
+    /// element, so batchmates coalesced from independent requests keep
+    /// their bit-exact outputs.
+    ///
+    /// # Errors
+    ///
+    /// Only batch-scoped failures return `Err`: empty batch, unknown
+    /// recording id, terminal prologue/re-warm failure, preemption, or a
+    /// warm-state invariant violation.
+    pub fn replay_batch_isolated(
+        &mut self,
+        id: usize,
+        ios: &mut [ReplayIo],
+    ) -> Result<IsolatedBatchReport, ReplayError> {
+        self.run_batch(id, ios, true)
+    }
+
+    /// Shared batch engine. With `isolate == false` this reproduces the
+    /// historical `replay_batch` semantics exactly (first terminal error
+    /// aborts the call; identical cost charging); with `isolate == true`
+    /// element-scoped errors are attributed instead of propagated.
+    #[allow(clippy::too_many_lines)]
+    fn run_batch(
+        &mut self,
+        id: usize,
+        ios: &mut [ReplayIo],
+        isolate: bool,
+    ) -> Result<IsolatedBatchReport, ReplayError> {
         if ios.is_empty() {
             return Err(ReplayError::Io("empty batch".into()));
         }
-        for io in ios.iter() {
-            self.validate_io(id, io)?;
+        if self.loaded.get(id).is_none() {
+            return Err(ReplayError::BadRecording(id));
         }
+        let mut errors: Vec<(usize, ReplayError)> = Vec::new();
+        let mut skip = vec![false; ios.len()];
+        for (k, io) in ios.iter_mut().enumerate() {
+            if let Err(e) = self.validate_io(id, io) {
+                if isolate {
+                    skip[k] = true;
+                    errors.push((k, e));
+                    // A failed element must hand back zeroed outputs, not
+                    // whatever the caller's buffers held.
+                    self.reset_outputs(id, io);
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+        if skip.iter().all(|&s| s) {
+            // Nothing runnable: answer without touching the machine.
+            return Ok(IsolatedBatchReport {
+                report: BatchReport {
+                    elements: ios.len(),
+                    prologue_actions: 0,
+                    suffix_actions: 0,
+                    amortized: false,
+                    retries: 0,
+                    jobs: 0,
+                    wall: SimDuration::ZERO,
+                },
+                errors,
+            });
+        }
+
         let Some(split) = self.loaded[id].batch_split else {
             // Shape does not admit amortization: full replay per element.
             let machine = self.env.machine().clone();
             let t0 = machine.now();
             let (mut jobs, mut retries) = (0u32, 0u32);
-            for io in ios.iter_mut() {
-                let report = self.replay(id, io)?;
-                jobs += report.jobs;
-                retries += report.retries;
+            for (k, io) in ios.iter_mut().enumerate() {
+                if skip[k] {
+                    continue;
+                }
+                match self.replay(id, io) {
+                    Ok(report) => {
+                        jobs += report.jobs;
+                        retries += report.retries;
+                    }
+                    Err(e @ ReplayError::Preempted { .. }) => return Err(e),
+                    Err(e) if isolate => {
+                        errors.push((k, e));
+                        // Discard the failed attempt's partial writes.
+                        self.reset_outputs(id, io);
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            return Ok(BatchReport {
-                elements: ios.len(),
-                prologue_actions: 0,
-                suffix_actions: self.loaded[id].rec.actions.len(),
-                amortized: false,
-                retries,
-                jobs,
-                wall: machine.now() - t0,
+            errors.sort_by_key(|(k, _)| *k);
+            return Ok(IsolatedBatchReport {
+                report: BatchReport {
+                    elements: ios.len(),
+                    prologue_actions: 0,
+                    suffix_actions: self.loaded[id].rec.actions.len(),
+                    amortized: false,
+                    retries,
+                    jobs,
+                    wall: machine.now() - t0,
+                },
+                errors,
             });
         };
 
@@ -357,9 +456,10 @@ impl Replayer {
         let end = self.loaded[id].rec.actions.len();
         let mut retries = 0u32;
         let mut jobs_total = 0u32;
+        let first = skip.iter().position(|&s| !s).expect("a runnable element");
 
         // Prologue, once (it contains no Copy actions, so any io works).
-        self.run_recovering(id, &mut ios[0], 0, split, &mut retries)?;
+        self.run_recovering(id, &mut ios[first], 0, split, &mut retries)?;
         // Resolve the per-input suffix once: the bounds / dead-upload /
         // payload checks paid here are what lets every warm re-run charge
         // only ACTION_DISPATCH_WARM per action.
@@ -370,11 +470,15 @@ impl Replayer {
         // guards the nano driver itself).
         let warm_pages = self.nano.phys_pages();
 
-        for io in ios.iter_mut() {
-            self.reset_outputs(id, io);
+        'elements: for k in 0..ios.len() {
+            if skip[k] {
+                continue;
+            }
+            self.reset_outputs(id, &mut ios[k]);
             let mut attempt = 0u32;
             let jobs = loop {
                 let scale = 1u64 << attempt;
+                let io = &mut ios[k];
                 let res = if attempt == 0 {
                     self.run_span(id, io, scale, split, end, 0, costs::ACTION_DISPATCH_WARM)
                 } else {
@@ -394,13 +498,36 @@ impl Replayer {
                         attempt += 1;
                         retries += 1;
                     }
-                    Err(e) if e.is_recoverable() => {
-                        return Err(ReplayError::RecoveryFailed {
-                            attempts: attempt + 1,
-                            last: Box::new(e),
-                        });
+                    Err(e) => {
+                        let e = if e.is_recoverable() {
+                            ReplayError::RecoveryFailed {
+                                attempts: attempt + 1,
+                                last: Box::new(e),
+                            }
+                        } else {
+                            e
+                        };
+                        // Preemption revokes the whole replayer, never one
+                        // element; everything else is attributed to the
+                        // element when isolating.
+                        if !isolate || matches!(e, ReplayError::Preempted { .. }) {
+                            return Err(e);
+                        }
+                        errors.push((k, e));
+                        // Discard the failed attempts' partial writes.
+                        self.reset_outputs(id, &mut ios[k]);
+                        if skip[k + 1..].iter().any(|&s| !s) {
+                            // The failed suffix may have left the machine
+                            // dirty: re-warm before the next element (the
+                            // same reset + remap + prologue §5.4 recovery
+                            // performs). A terminal re-warm failure is
+                            // batch-scoped.
+                            self.iface.soft_reset(&machine)?;
+                            self.nano.remap_all()?;
+                            self.run_recovering(id, &mut ios[k], 0, split, &mut retries)?;
+                        }
+                        continue 'elements;
                     }
-                    Err(e) => return Err(e),
                 }
             };
             jobs_total += jobs;
@@ -410,14 +537,18 @@ impl Replayer {
                 ));
             }
         }
-        Ok(BatchReport {
-            elements: ios.len(),
-            prologue_actions: split,
-            suffix_actions: end - split,
-            amortized: true,
-            retries,
-            jobs: jobs_total,
-            wall: machine.now() - t0,
+        errors.sort_by_key(|(k, _)| *k);
+        Ok(IsolatedBatchReport {
+            report: BatchReport {
+                elements: ios.len(),
+                prologue_actions: split,
+                suffix_actions: end - split,
+                amortized: true,
+                retries,
+                jobs: jobs_total,
+                wall: machine.now() - t0,
+            },
+            errors,
         })
     }
 

@@ -1,0 +1,215 @@
+//! Bounded earliest-deadline-first admission queue.
+//!
+//! One [`EdfQueue`] sits in front of every shard: admission is bounded
+//! (a full queue rejects the *new* request, never evicts an admitted
+//! one), and dequeue is strict EDF — the entry with the earliest
+//! deadline leaves first, ties broken by admission order, deadline-free
+//! entries last (FIFO among themselves). Strict EDF is what the
+//! scheduler's batch-formation invariant builds on: a worker only
+//! coalesces the *consecutive* EDF prefix, so no admitted request is
+//! ever dequeued after a later-deadline request from the same shard.
+
+use std::collections::BinaryHeap;
+
+use gr_sim::SimTime;
+
+/// Deadline-free entries sort after every real deadline.
+fn key_ns(deadline: Option<SimTime>) -> u64 {
+    deadline.map_or(u64::MAX, SimTime::as_nanos)
+}
+
+struct Entry<T> {
+    /// (deadline nanos — `u64::MAX` when none, admission sequence).
+    key: (u64, u64),
+    deadline: Option<SimTime>,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min key on top.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A bounded earliest-deadline-first queue.
+///
+/// # Example
+///
+/// ```
+/// use gr_service::EdfQueue;
+/// use gr_sim::SimTime;
+///
+/// let mut q: EdfQueue<&str> = EdfQueue::new(2);
+/// q.try_push(Some(SimTime::from_nanos(200)), "late").unwrap();
+/// q.try_push(None, "whenever").unwrap();
+/// assert!(q.try_push(Some(SimTime::from_nanos(50)), "full").is_err());
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert_eq!(q.pop().unwrap().1, "whenever");
+/// ```
+pub struct EdfQueue<T> {
+    cap: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> std::fmt::Debug for EdfQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdfQueue")
+            .field("cap", &self.cap)
+            .field("len", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<T> EdfQueue<T> {
+    /// A queue admitting at most `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> EdfQueue<T> {
+        EdfQueue {
+            cap: cap.max(1),
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Admits `item`, or returns it when the queue is full (bounded
+    /// admission never evicts an already-admitted entry).
+    ///
+    /// # Errors
+    ///
+    /// The rejected `item` itself, so the caller can answer its ticket.
+    pub fn try_push(&mut self, deadline: Option<SimTime>, item: T) -> Result<(), T> {
+        if self.heap.len() >= self.cap {
+            return Err(item);
+        }
+        let key = (key_ns(deadline), self.seq);
+        self.seq += 1;
+        self.heap.push(Entry {
+            key,
+            deadline,
+            item,
+        });
+        Ok(())
+    }
+
+    /// Deadline and payload of the entry `pop` would return next.
+    pub fn peek(&self) -> Option<(Option<SimTime>, &T)> {
+        self.heap.peek().map(|e| (e.deadline, &e.item))
+    }
+
+    /// Removes and returns the earliest-deadline entry (ties: admission
+    /// order; deadline-free entries last).
+    pub fn pop(&mut self) -> Option<(Option<SimTime>, T)> {
+        self.heap.pop().map(|e| (e.deadline, e.item))
+    }
+
+    /// Drains every queued entry in EDF order (used by shutdown to
+    /// reject, and by tests).
+    pub fn drain(&mut self) -> Vec<(Option<SimTime>, T)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edf_order_with_ties_and_no_deadline() {
+        let mut q = EdfQueue::new(8);
+        q.try_push(None, "d").unwrap();
+        q.try_push(Some(SimTime::from_nanos(30)), "b").unwrap();
+        q.try_push(Some(SimTime::from_nanos(10)), "a").unwrap();
+        q.try_push(Some(SimTime::from_nanos(30)), "c").unwrap();
+        q.try_push(None, "e").unwrap();
+        let order: Vec<&str> = q.drain().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn bounded_admission_rejects_new_entry_only() {
+        let mut q = EdfQueue::new(2);
+        q.try_push(Some(SimTime::from_nanos(100)), 1).unwrap();
+        q.try_push(Some(SimTime::from_nanos(200)), 2).unwrap();
+        // An earlier deadline does NOT evict an admitted entry.
+        assert_eq!(q.try_push(Some(SimTime::from_nanos(1)), 3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.try_push(None, 4).is_ok());
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut q = EdfQueue::new(0);
+        assert_eq!(q.cap(), 1);
+        q.try_push(None, ()).unwrap();
+        assert_eq!(q.try_push(None, ()), Err(()));
+    }
+
+    // Scheduler invariant: at every dequeue, the popped entry has the
+    // minimum (deadline, admission-seq) key among everything queued —
+    // i.e. no admitted request is ever dequeued after a later-deadline
+    // request, across arbitrary push/pop interleavings.
+    proptest! {
+        #[test]
+        fn pop_is_always_the_current_minimum(ops in proptest::collection::vec((0u64..8, 0u64..1000), 1..200)) {
+            let mut q: EdfQueue<u64> = EdfQueue::new(64);
+            let mut shadow: Vec<(u64, u64)> = Vec::new(); // (deadline_ns key, seq)
+            let mut seq = 0u64;
+            for (op, dl) in ops {
+                if op == 0 || shadow.len() == 64 {
+                    // pop
+                    let got = q.pop();
+                    if shadow.is_empty() {
+                        assert!(got.is_none());
+                    } else {
+                        let min = *shadow.iter().min().unwrap();
+                        shadow.retain(|&e| e != min);
+                        let (deadline, _) = got.unwrap();
+                        assert_eq!(
+                            key_ns(deadline), min.0,
+                            "popped a later deadline than the queue minimum"
+                        );
+                    }
+                } else {
+                    let deadline = (dl < 900).then(|| SimTime::from_nanos(dl));
+                    if q.try_push(deadline, dl).is_ok() {
+                        shadow.push((key_ns(deadline), seq));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-shard scheduler metrics, exported as point-in-time snapshots.
+//!
+//! Every admission decision, deadline miss, formed batch, and isolated
+//! element fault is counted under the shard lock, so a
+//! [`ServiceStats`](crate::ReplayService::stats) snapshot is always
+//! internally consistent: `submitted` equals the sum of every terminal
+//! outcome plus what is still queued or in flight.
+
+/// Snapshot of one shard's scheduler state and lifetime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// SKU name of the shard.
+    pub sku: &'static str,
+    /// Requests currently admitted and waiting in the queue.
+    pub depth: usize,
+    /// Admission capacity of the queue.
+    pub queue_cap: usize,
+    /// Tickets currently being replayed by workers.
+    pub in_flight: usize,
+    /// Requests ever submitted to this shard (including rejected ones).
+    pub submitted: u64,
+    /// Tickets answered with a successful [`BatchOutcome`](crate::BatchOutcome).
+    pub completed: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_full: u64,
+    /// Requests rejected at admission because their deadline had already
+    /// passed.
+    pub rejected_expired: u64,
+    /// Admitted requests whose deadline expired in the queue; rejected at
+    /// dequeue without touching a warm machine.
+    pub deadline_missed: u64,
+    /// Tickets answered with a replay/validation error (the worker and
+    /// its batchmates survived).
+    pub faults: u64,
+    /// Queued tickets rejected by a non-draining shutdown.
+    pub shutdown_rejected: u64,
+    /// Queued tickets rejected because the shard's last worker died.
+    pub worker_lost: u64,
+    /// §5.4 re-executions observed across all batches.
+    pub retries: u64,
+    /// Batches formed and run (a lone request counts as a batch of 1).
+    pub batches: u64,
+    /// Histogram of formed batch sizes: `batch_sizes[i]` counts batches
+    /// that coalesced `i + 1` tickets.
+    pub batch_sizes: Vec<u64>,
+}
+
+impl ShardStats {
+    /// Tickets that reached a terminal outcome.
+    pub fn resolved(&self) -> u64 {
+        self.completed
+            + self.rejected_full
+            + self.rejected_expired
+            + self.deadline_missed
+            + self.faults
+            + self.shutdown_rejected
+            + self.worker_lost
+    }
+
+    /// Total tickets that rode formed batches (sum over the histogram).
+    pub fn coalesced_tickets(&self) -> u64 {
+        self.batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u64 + 1) * n)
+            .sum()
+    }
+
+    /// Bookkeeping invariant: every submitted request is either resolved,
+    /// still queued, or in flight.
+    pub fn is_consistent(&self) -> bool {
+        self.submitted == self.resolved() + self.depth as u64 + self.in_flight as u64
+    }
+}
+
+/// Snapshot of every shard, sorted by SKU name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// One entry per shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// The snapshot for `sku`, if that shard exists.
+    pub fn shard(&self, sku: &str) -> Option<&ShardStats> {
+        self.shards.iter().find(|s| s.sku == sku)
+    }
+}
+
+/// Mutable counters living under the shard lock.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected_full: u64,
+    pub rejected_expired: u64,
+    pub deadline_missed: u64,
+    pub faults: u64,
+    pub shutdown_rejected: u64,
+    pub worker_lost: u64,
+    pub retries: u64,
+    pub batches: u64,
+    pub batch_sizes: Vec<u64>,
+}
+
+impl ShardMetrics {
+    pub fn record_batch(&mut self, tickets: usize) {
+        self.batches += 1;
+        if self.batch_sizes.len() < tickets {
+            self.batch_sizes.resize(tickets, 0);
+        }
+        self.batch_sizes[tickets - 1] += 1;
+    }
+
+    pub fn snapshot(
+        &self,
+        sku: &'static str,
+        depth: usize,
+        queue_cap: usize,
+        in_flight: usize,
+    ) -> ShardStats {
+        ShardStats {
+            sku,
+            depth,
+            queue_cap,
+            in_flight,
+            submitted: self.submitted,
+            completed: self.completed,
+            rejected_full: self.rejected_full,
+            rejected_expired: self.rejected_expired,
+            deadline_missed: self.deadline_missed,
+            faults: self.faults,
+            shutdown_rejected: self.shutdown_rejected,
+            worker_lost: self.worker_lost,
+            retries: self.retries,
+            batches: self.batches,
+            batch_sizes: self.batch_sizes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_grows_and_counts() {
+        let mut m = ShardMetrics::default();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.record_batch(4);
+        let s = m.snapshot("G71", 0, 8, 0);
+        assert_eq!(s.batch_sizes, vec![1, 0, 0, 2]);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.coalesced_tickets(), 9);
+    }
+
+    #[test]
+    fn consistency_accounts_for_queue_and_flight() {
+        let m = ShardMetrics {
+            submitted: 5,
+            completed: 2,
+            faults: 1,
+            ..ShardMetrics::default()
+        };
+        let s = m.snapshot("v3d", 1, 8, 1);
+        assert!(s.is_consistent());
+        assert_eq!(s.resolved(), 3);
+    }
+}

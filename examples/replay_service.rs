@@ -1,0 +1,104 @@
+//! Serving scenario: an inference fleet front-end built on the
+//! `gr-service` scheduler — bounded admission, per-request deadlines,
+//! and dynamic batching over warm machines.
+//!
+//! A burst of single-image MNIST requests lands on a paused one-worker
+//! shard; the worker then drains them as one warm batch (prologue paid
+//! once), while an over-cap request is shed with `QueueFull` and a
+//! stale request is rejected the moment its deadline passes — without
+//! ever touching the warm machine.
+//!
+//! Run with: `cargo run --example replay_service --release`
+
+use gpureplay::prelude::*;
+use gpureplay::service::ServiceError;
+use gr_sim::{SimDuration, SimRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record once on the development machine.
+    let dev = Machine::new(&sku::MALI_G71, 7);
+    let mut harness = RecordHarness::new(dev)?;
+    let recs = harness.record_inference(&models::mnist(), Granularity::WholeNn, 7)?;
+    let blob = recs.recordings[0].to_bytes();
+    let input_len = recs.net.input_len();
+    harness.finish();
+
+    // The serving fleet: one warm shard, bounded queue, 8-way batching.
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(&sku::MALI_G71, EnvKind::UserLevel, vec![blob.clone()])
+                .queue_cap(8)
+                .max_batch(8),
+        )
+        .spawn()?;
+    let clock = service.clock();
+    clock.advance(SimDuration::from_millis(1));
+
+    let mut rng = SimRng::seed_from(99);
+    let mut make_request = || {
+        let pixels: Vec<f32> = (0..input_len).map(|_| rng.unit_f64() as f32).collect();
+        let rec = Recording::from_bytes(&blob).unwrap();
+        let mut io = ReplayIo::for_recording(&rec);
+        io.set_input_f32(0, &pixels).unwrap();
+        ReplayRequest::single(0, io)
+    };
+
+    // Build up a burst while the workers are paused (a traffic spike).
+    service.pause();
+    let mut tickets = Vec::new();
+    for _ in 0..7 {
+        let deadline = clock.now() + SimDuration::from_millis(100);
+        tickets.push(service.submit_request("G71", make_request().deadline(deadline))?);
+    }
+    // One request with a deadline too tight to survive the queue...
+    let doomed = service.submit_request(
+        "G71",
+        make_request().deadline(clock.now() + SimDuration::from_micros(10)),
+    )?;
+    // ...and one past the queue bound: shed at admission.
+    match service.submit_request("G71", make_request()) {
+        Err(ServiceError::QueueFull { sku, cap }) => {
+            println!("backpressure: shard '{sku}' full at cap {cap}, request shed");
+        }
+        other => println!("unexpected admission result: {other:?}"),
+    }
+
+    // Time passes; the spike is drained as one dynamically formed batch.
+    clock.advance(SimDuration::from_millis(1));
+    service.resume();
+    service.quiesce();
+    match doomed.wait() {
+        Err(ServiceError::DeadlineExceeded) => {
+            println!("stale request rejected at dequeue, no warm machine touched");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let outcome = ticket.wait()?;
+        let logits = outcome.ios[0].output_f32(0)?;
+        let digit = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(d, _)| d)
+            .unwrap_or(0);
+        println!(
+            "request {k}: digit {digit}, rode a {}-element warm batch ({} retries)",
+            outcome.report.elements, outcome.report.retries
+        );
+    }
+
+    let stats = service.stats();
+    let shard = stats.shard("G71").expect("shard exists");
+    println!(
+        "shard G71: {} submitted, {} completed, {} shed (queue-full), {} deadline-missed; \
+         formed-batch histogram {:?}",
+        shard.submitted,
+        shard.completed,
+        shard.rejected_full,
+        shard.deadline_missed,
+        shard.batch_sizes
+    );
+    service.shutdown();
+    Ok(())
+}

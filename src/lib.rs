@@ -52,7 +52,8 @@ pub mod prelude {
     pub use gr_recorder::RecordHarness;
     pub use gr_recording::Recording;
     pub use gr_replayer::{
-        patch_recording, BatchReport, EnvKind, Environment, PatchOptions, ReplayIo, Replayer,
+        patch_recording, BatchReport, EnvKind, Environment, IsolatedBatchReport, PatchOptions,
+        ReplayIo, Replayer,
     };
-    pub use gr_service::{ReplayService, ShardSpec};
+    pub use gr_service::{ReplayRequest, ReplayService, ServiceError, ServiceStats, ShardSpec};
 }

@@ -196,6 +196,65 @@ fn fault_mid_batch_recovers_without_poisoning_later_elements() {
     replayer.cleanup();
 }
 
+/// `replay_batch_isolated` attributes a poisoned element's failure to
+/// that element alone: batchmates replay bit-exactly and the failed
+/// element's outputs come back zeroed (not the caller's stale bytes).
+#[test]
+fn isolated_batch_attributes_faults_and_zeroes_failed_outputs() {
+    use gpureplay::replayer::ReplayError;
+    let rec = mali();
+    let machine = Machine::new(&sku::MALI_G71, 73);
+    let environment = Environment::new(EnvKind::UserLevel, machine).unwrap();
+    let mut replayer = Replayer::new(environment);
+    let id = replayer.load_bytes(&rec.bytes).unwrap();
+
+    let inputs: Vec<Vec<f32>> = (0..3)
+        .map(|k| random_input(rec.net.input_len(), 600 + k))
+        .collect();
+    let mut ios: Vec<ReplayIo> = inputs
+        .iter()
+        .map(|input| {
+            let mut io = ReplayIo::for_recording(replayer.recording(id));
+            io.set_input_f32(0, input).unwrap();
+            io
+        })
+        .collect();
+    // Poison the middle element: wrong input size, stale output bytes.
+    ios[1].inputs[0] = vec![0u8; 3];
+    for out in &mut ios[1].outputs {
+        out.fill(0xAA);
+    }
+
+    let run = replayer.replay_batch_isolated(id, &mut ios).unwrap();
+    assert!(run.report.amortized);
+    assert_eq!(run.report.elements, 3);
+    assert_eq!(run.errors.len(), 1, "exactly one attributed fault");
+    assert_eq!(run.errors[0].0, 1, "the poisoned element's index");
+    assert!(matches!(run.errors[0].1, ReplayError::Io(_)));
+    for (k, input) in inputs.iter().enumerate() {
+        if k == 1 {
+            for (s, out) in ios[1].outputs.iter().enumerate() {
+                assert_eq!(
+                    out.len(),
+                    replayer.recording(id).outputs[s].len as usize,
+                    "failed element keeps recording-shaped outputs"
+                );
+                assert!(
+                    out.iter().all(|&b| b == 0),
+                    "failed element's outputs must be zeroed, not stale"
+                );
+            }
+        } else {
+            assert_eq!(
+                ios[k].output_f32(0).unwrap(),
+                cpu_ref::cpu_infer(&rec.net, input),
+                "batchmate {k} poisoned by element 1's fault"
+            );
+        }
+    }
+    replayer.cleanup();
+}
+
 /// Multi-input recordings batch too: every element re-copies all of its
 /// input slots in the suffix.
 #[test]

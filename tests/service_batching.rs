@@ -1,0 +1,350 @@
+//! Scheduler-level batching invariants for `gr-service`:
+//!
+//! * dynamically formed batch outputs are bit-identical to fresh
+//!   sequential replays of the same inputs (proptest, both SKUs);
+//! * a poisoned element of a dynamically formed batch fails only its own
+//!   ticket — batchmates and the subsequent queue drain survive;
+//! * a transient mid-batch hardware fault (§5.4) re-warms the worker and
+//!   every coalesced ticket still completes bit-exactly;
+//! * shutdown either drains or rejects queued tickets — a pending
+//!   ticket's `wait()` returns, it never hangs.
+
+use std::sync::OnceLock;
+
+use gpureplay::prelude::*;
+use gpureplay::replayer::ReplayError;
+use gpureplay::service::ServiceError;
+use gr_gpu::{FaultKind, GpuSku};
+use gr_mlfw::cpu_ref;
+use gr_mlfw::exec::GpuNetwork;
+use gr_sim::SimRng;
+use proptest::prelude::*;
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+struct Recorded {
+    bytes: Vec<u8>,
+    net: GpuNetwork,
+}
+
+fn recorded(sku: &'static GpuSku, seed: u64) -> Recorded {
+    let dev = Machine::new(sku, seed);
+    let mut harness = RecordHarness::new(dev).unwrap();
+    let recs = harness
+        .record_inference(&models::mnist(), Granularity::WholeNn, seed)
+        .unwrap();
+    let bytes = recs.recordings[0].to_bytes();
+    harness.finish();
+    Recorded {
+        bytes,
+        net: recs.net,
+    }
+}
+
+fn mali() -> &'static Recorded {
+    static REC: OnceLock<Recorded> = OnceLock::new();
+    REC.get_or_init(|| recorded(&sku::MALI_G71, 141))
+}
+
+fn vecadd_blob(sku: &'static GpuSku, seed: u64) -> Vec<u8> {
+    let dev = Machine::new(sku, seed);
+    let mut harness = RecordHarness::new(dev).unwrap();
+    let rec = harness.record_vecadd(48, 1000, seed).unwrap();
+    harness.finish();
+    rec.to_bytes()
+}
+
+fn single_io(blob: &[u8], a: &[f32], b: &[f32]) -> ReplayIo {
+    let rec = Recording::from_bytes(blob).unwrap();
+    let mut io = ReplayIo::for_recording(&rec);
+    io.set_input_f32(0, a).unwrap();
+    io.set_input_f32(1, b).unwrap();
+    io
+}
+
+/// Submits `n` compatible single-input requests to a paused one-worker
+/// service, drains them (they coalesce into dynamic batches), and checks
+/// every output is bit-identical to a fresh sequential `replay()` of the
+/// same input on a cold replayer.
+fn check_service_batch_vs_sequential(sku_ref: &'static GpuSku, env: EnvKind, n: usize, seed: u64) {
+    let blob = vecadd_blob(sku_ref, 1000 + seed % 17);
+    let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .map(|k| {
+            let s = seed.wrapping_add(k as u64 * 7919);
+            (random_input(48, s), random_input(48, s ^ 0x5A5A))
+        })
+        .collect();
+
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(sku_ref, env, vec![blob.clone()])
+                .max_batch(n.max(2))
+                .seed(seed | 1),
+        )
+        .spawn()
+        .unwrap();
+    service.pause();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|(a, b)| {
+            service
+                .submit_request(
+                    sku_ref.name,
+                    ReplayRequest::single(0, single_io(&blob, a, b)),
+                )
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+    service.quiesce();
+    let batched: Vec<Vec<f32>> = tickets
+        .into_iter()
+        .map(|t| {
+            let outcome = t.wait().unwrap();
+            assert_eq!(
+                outcome.report.elements, n,
+                "all {n} compatible singles must coalesce into one batch"
+            );
+            outcome.ios[0].output_f32(0).unwrap()
+        })
+        .collect();
+    service.shutdown();
+
+    // Fresh sequential replays on a cold machine with different jitter.
+    let machine = Machine::new(sku_ref, seed ^ 0xBEEF);
+    let environment = Environment::new(env, machine).unwrap();
+    let mut replayer = Replayer::new(environment);
+    let id = replayer.load_bytes(&blob).unwrap();
+    for (k, (a, b)) in inputs.iter().enumerate() {
+        let mut io = single_io(&blob, a, b);
+        replayer.replay(id, &mut io).unwrap();
+        let fresh = io.output_f32(0).unwrap();
+        let want: Vec<f32> = a.iter().zip(b).map(|(x, y)| x + y).collect();
+        assert_eq!(
+            batched[k], fresh,
+            "element {k}: dynamic batch diverged from fresh sequential replay"
+        );
+        assert_eq!(fresh, want, "element {k}: replay diverged from CPU sum");
+    }
+    replayer.cleanup();
+}
+
+/// Building a service per case is cheap with vecadd, but keep the
+/// campaign bounded so tier-1 stays fast.
+const MAX_HEAVY_CASES: usize = 12;
+
+proptest! {
+    #[test]
+    fn formed_batch_outputs_bit_identical_to_sequential(n in 2usize..6, seed in 0u64..1_000_000) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASES_RUN: AtomicUsize = AtomicUsize::new(0);
+        if CASES_RUN.fetch_add(1, Ordering::Relaxed) >= MAX_HEAVY_CASES {
+            return;
+        }
+        check_service_batch_vs_sequential(&sku::MALI_G71, EnvKind::UserLevel, n, seed | 1);
+        check_service_batch_vs_sequential(&sku::V3D_RPI4, EnvKind::KernelLevel, n, seed | 1);
+    }
+}
+
+/// Poison one element of a dynamically formed batch: only that ticket
+/// errors; batchmates keep bit-exact outputs, the worker re-warms, the
+/// subsequent queue drain succeeds, and stats count exactly one fault.
+#[test]
+fn poisoned_element_fails_only_its_own_ticket() {
+    let rec = mali();
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(&sku::MALI_G71, EnvKind::UserLevel, vec![rec.bytes.clone()])
+                .max_batch(8),
+        )
+        .spawn()
+        .unwrap();
+
+    let inputs: Vec<Vec<f32>> = (0..5)
+        .map(|k| random_input(rec.net.input_len(), 700 + k))
+        .collect();
+    service.pause();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, input)| {
+            let recording = Recording::from_bytes(&rec.bytes).unwrap();
+            let mut io = ReplayIo::for_recording(&recording);
+            if k == 2 {
+                io.inputs[0] = vec![0u8; 3]; // poisoned: wrong byte size
+            } else {
+                io.set_input_f32(0, input).unwrap();
+            }
+            service
+                .submit_request("G71", ReplayRequest::single(0, io))
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+    service.quiesce();
+
+    for (k, (t, input)) in tickets.into_iter().zip(&inputs).enumerate() {
+        if k == 2 {
+            let err = t.wait().unwrap_err();
+            assert!(
+                matches!(err, ServiceError::Replay(ReplayError::Io(_))),
+                "poisoned ticket must fail with its own validation error, got {err}"
+            );
+        } else {
+            let outcome = t.wait().unwrap();
+            assert_eq!(
+                outcome.report.elements, 5,
+                "the poisoned element must still ride the formed batch"
+            );
+            assert_eq!(
+                outcome.ios[0].output_f32(0).unwrap(),
+                cpu_ref::cpu_infer(&rec.net, input),
+                "batchmate {k} poisoned by element 2's fault"
+            );
+        }
+    }
+    let snapshot = service.stats();
+    let shard = snapshot.shard("G71").unwrap();
+    assert_eq!(shard.faults, 1, "exactly one fault: {shard:?}");
+    assert_eq!(shard.completed, 4);
+    assert_eq!(shard.batch_sizes, vec![0, 0, 0, 0, 1], "one 5-way batch");
+
+    // The worker survived: a subsequent drain completes cleanly.
+    let input = random_input(rec.net.input_len(), 990);
+    let recording = Recording::from_bytes(&rec.bytes).unwrap();
+    let mut io = ReplayIo::for_recording(&recording);
+    io.set_input_f32(0, &input).unwrap();
+    let outcome = service.run("G71", 0, vec![io]).unwrap();
+    assert_eq!(
+        outcome.ios[0].output_f32(0).unwrap(),
+        cpu_ref::cpu_infer(&rec.net, &input)
+    );
+    assert!(service.stats().shard("G71").unwrap().is_consistent());
+    service.shutdown();
+}
+
+/// A transient hardware fault mid-formed-batch (§5.4): the worker
+/// resets, re-warms, retries the failing element, and every coalesced
+/// ticket still completes bit-exactly.
+#[test]
+fn transient_fault_mid_formed_batch_recovers_every_ticket() {
+    let rec = mali();
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(&sku::MALI_G71, EnvKind::UserLevel, vec![rec.bytes.clone()])
+                .max_batch(4),
+        )
+        .spawn()
+        .unwrap();
+
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|k| random_input(rec.net.input_len(), 800 + k))
+        .collect();
+    service.pause();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|input| {
+            let recording = Recording::from_bytes(&rec.bytes).unwrap();
+            let mut io = ReplayIo::for_recording(&recording);
+            io.set_input_f32(0, input).unwrap();
+            service
+                .submit_request("G71", ReplayRequest::single(0, io))
+                .unwrap()
+        })
+        .collect();
+    // Armed glitch on the shard's warm machine: the next started job
+    // fails once, then clears — it fires inside the formed batch.
+    let machines = service.machines("G71").unwrap();
+    machines[0].inject_fault(FaultKind::OfflineCores { mask: 0xFF });
+    service.resume();
+    service.quiesce();
+
+    for (k, (t, input)) in tickets.into_iter().zip(&inputs).enumerate() {
+        let outcome = t.wait().unwrap();
+        assert!(
+            outcome.report.retries >= 1,
+            "the glitch must force a §5.4 retry inside the batch"
+        );
+        assert_eq!(
+            outcome.ios[0].output_f32(0).unwrap(),
+            cpu_ref::cpu_infer(&rec.net, input),
+            "ticket {k} poisoned by mid-batch recovery"
+        );
+    }
+    let snapshot = service.stats();
+    let shard = snapshot.shard("G71").unwrap();
+    assert!(shard.retries >= 1, "stats must reflect the re-warm");
+    assert_eq!(shard.faults, 0, "a recovered glitch is not a fault");
+    assert_eq!(shard.completed, 4);
+    service.shutdown();
+}
+
+/// Regression (PR 4): queued tickets must never be dropped silently.
+/// `shutdown_now` rejects them — `wait()` returns an error, not a hang —
+/// and graceful `shutdown` drains them to completion.
+#[test]
+fn shutdown_drains_or_rejects_pending_tickets() {
+    let blob = vecadd_blob(&sku::MALI_G71, 2000);
+    let a = random_input(48, 1);
+    let b = random_input(48, 2);
+    let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+
+    // Reject path: pending tickets resolve with ServiceError::Shutdown.
+    let service = ReplayService::builder()
+        .shard(ShardSpec::new(
+            &sku::MALI_G71,
+            EnvKind::UserLevel,
+            vec![blob.clone()],
+        ))
+        .spawn()
+        .unwrap();
+    service.pause();
+    let t1 = service
+        .submit_request("G71", ReplayRequest::single(0, single_io(&blob, &a, &b)))
+        .unwrap();
+    let t2 = service
+        .submit_request("G71", ReplayRequest::single(0, single_io(&blob, &a, &b)))
+        .unwrap();
+    let worker_stats = service.shutdown_now();
+    assert!(matches!(t1.wait().unwrap_err(), ServiceError::Shutdown));
+    assert!(matches!(t2.wait().unwrap_err(), ServiceError::Shutdown));
+    assert_eq!(worker_stats[0].jobs, 0, "rejected tickets never ran");
+
+    // Drain path: graceful shutdown completes queued work first.
+    let service = ReplayService::builder()
+        .shard(ShardSpec::new(
+            &sku::MALI_G71,
+            EnvKind::UserLevel,
+            vec![blob.clone()],
+        ))
+        .spawn()
+        .unwrap();
+    service.pause();
+    let t = service
+        .submit_request("G71", ReplayRequest::single(0, single_io(&blob, &a, &b)))
+        .unwrap();
+    service.shutdown();
+    let outcome = t.wait().unwrap();
+    assert_eq!(outcome.ios[0].output_f32(0).unwrap(), want);
+
+    // Drop path: a service dropped without any shutdown call (early
+    // return, caller panic) must still reject queued tickets so a
+    // pending wait() returns instead of hanging, and wake its workers.
+    let service = ReplayService::builder()
+        .shard(ShardSpec::new(
+            &sku::MALI_G71,
+            EnvKind::UserLevel,
+            vec![blob.clone()],
+        ))
+        .spawn()
+        .unwrap();
+    service.pause();
+    let t = service
+        .submit_request("G71", ReplayRequest::single(0, single_io(&blob, &a, &b)))
+        .unwrap();
+    drop(service);
+    assert!(matches!(t.wait().unwrap_err(), ServiceError::Shutdown));
+}

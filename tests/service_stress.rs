@@ -1,0 +1,294 @@
+//! Deterministic stress harness for the `gr-service` scheduler.
+//!
+//! A seeded `SimRng` generates a virtual-time submit schedule (bursty,
+//! steady, and adversarial load shapes) that is driven through the
+//! service's lock-step determinism protocol:
+//!
+//! 1. `pause()` the shard workers,
+//! 2. submit the round's burst (admission decisions — `QueueFull`,
+//!    expired-at-admission — now depend only on queue state),
+//! 3. advance the service clock per the schedule (some queued deadlines
+//!    expire),
+//! 4. `resume()` + `quiesce()` (the drain runs against a static clock, so
+//!    every queued ticket's fate is already decided).
+//!
+//! Under this protocol every per-ticket outcome is a pure function of the
+//! seed: the harness records an outcome string per ticket (completed with
+//! an output checksum, queue-full, expired at admission, deadline missed,
+//! or a replay fault) and asserts that (a) every ticket resolves exactly
+//! once, (b) the shard metrics balance, and (c) replaying the same
+//! schedule on a fresh service reproduces the outcome sequence bit for
+//! bit — on both SKUs.
+
+use gpureplay::prelude::*;
+use gpureplay::service::ServiceStats;
+use gr_gpu::GpuSku;
+use gr_sim::{SimDuration, SimRng};
+
+const QUEUE_CAP: usize = 8;
+const MAX_BATCH: usize = 4;
+
+fn record_vecadd_blob(sku: &'static GpuSku, n: usize, seed: u64) -> Vec<u8> {
+    let dev = Machine::new(sku, seed);
+    let mut harness = RecordHarness::new(dev).unwrap();
+    let rec = harness.record_vecadd(n, 1000, seed).unwrap();
+    harness.finish();
+    rec.to_bytes()
+}
+
+/// Builds a well-formed single-element IO for recording `r` (a vecadd
+/// recording with two input slots).
+fn io_for(blob: &[u8], seed: u64) -> ReplayIo {
+    let rec = Recording::from_bytes(blob).unwrap();
+    let mut io = ReplayIo::for_recording(&rec);
+    let n = rec.inputs[0].len as usize / 4;
+    let mut rng = SimRng::seed_from(seed).fork("stress-input");
+    let a: Vec<f32> = (0..n).map(|_| rng.unit_f64() as f32).collect();
+    let b: Vec<f32> = (0..n).map(|_| rng.unit_f64() as f32).collect();
+    io.set_input_f32(0, &a).unwrap();
+    io.set_input_f32(1, &b).unwrap();
+    io
+}
+
+fn checksum(outputs: &[Vec<u8>]) -> u64 {
+    // FNV-1a over every output byte: cheap, deterministic, order-sensitive.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for buf in outputs {
+        for &b in buf {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Shape {
+    Steady,
+    Bursty,
+    Adversarial,
+}
+
+/// One scheduled submission.
+struct Submit {
+    /// 0 or 1: which recording; 2: an unknown id (adversarial).
+    recording: usize,
+    /// Elements in the request (1 = coalescible).
+    elements: usize,
+    /// Deadline offset from "now" in nanos; `None` = no deadline,
+    /// `Some(0)` = already expired at admission.
+    deadline_offset: Option<u64>,
+    /// Truncate the first input buffer (validation fault on the ticket).
+    malformed: bool,
+    /// Input seed.
+    seed: u64,
+}
+
+struct Round {
+    submits: Vec<Submit>,
+    advance: SimDuration,
+}
+
+/// Draws the whole schedule up front so both runs consume identical
+/// randomness.
+fn make_schedule(shape: Shape, seed: u64, rounds: usize) -> Vec<Round> {
+    let mut rng = SimRng::seed_from(seed).fork("stress-schedule");
+    (0..rounds)
+        .map(|r| {
+            let burst = match shape {
+                Shape::Steady => rng.range_u64(1, 4) as usize,
+                Shape::Bursty => {
+                    if r % 2 == 0 {
+                        rng.range_u64(8, 13) as usize // overflows QUEUE_CAP
+                    } else {
+                        rng.range_u64(0, 2) as usize
+                    }
+                }
+                Shape::Adversarial => rng.range_u64(4, 13) as usize,
+            };
+            // Every round advances at least 2 ms so "tight" deadlines
+            // (1 ms) always expire in the queue and "generous" ones
+            // (advance + 1 s) never do.
+            let advance = SimDuration::from_millis(rng.range_u64(2, 10));
+            let submits = (0..burst)
+                .map(|_| {
+                    let adversarial = shape == Shape::Adversarial;
+                    let recording = if adversarial && rng.chance(0.05) {
+                        2 // unknown id: a fault on the ticket
+                    } else {
+                        rng.range_u64(0, 2) as usize
+                    };
+                    let deadline_offset = match rng.range_u64(0, 4) {
+                        0 => None,
+                        1 if adversarial => Some(0), // expired at admission
+                        2 => Some(SimDuration::from_millis(1).as_nanos()), // expires queued
+                        _ => Some((advance + SimDuration::from_secs(1)).as_nanos()),
+                    };
+                    Submit {
+                        recording,
+                        elements: if adversarial && rng.chance(0.2) { 2 } else { 1 },
+                        deadline_offset,
+                        malformed: adversarial && rng.chance(0.1),
+                        seed: rng.next_u64(),
+                    }
+                })
+                .collect();
+            Round { submits, advance }
+        })
+        .collect()
+}
+
+/// Runs `schedule` against a fresh one-worker-per-shard service and
+/// returns the per-ticket outcome strings plus the final shard stats.
+fn run_schedule(
+    sku: &'static GpuSku,
+    env: EnvKind,
+    blobs: &[Vec<u8>],
+    schedule: &[Round],
+) -> (Vec<String>, ServiceStats) {
+    use gpureplay::service::ServiceError;
+
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(sku, env, blobs.to_vec())
+                .queue_cap(QUEUE_CAP)
+                .max_batch(MAX_BATCH),
+        )
+        .spawn()
+        .unwrap();
+    let clock = service.clock();
+    clock.advance(SimDuration::from_millis(1)); // move off t=0
+
+    let mut outcomes = Vec::new();
+    for round in schedule {
+        service.pause();
+        let mut tickets = Vec::new();
+        for s in &round.submits {
+            let blob = blobs.get(s.recording).unwrap_or(&blobs[0]);
+            let mut ios: Vec<ReplayIo> = (0..s.elements)
+                .map(|k| io_for(blob, s.seed.wrapping_add(k as u64)))
+                .collect();
+            if s.malformed {
+                ios[0].inputs[0] = vec![0u8; 3];
+            }
+            let mut req = ReplayRequest::new(s.recording, ios);
+            if let Some(off) = s.deadline_offset {
+                // Offset 0 encodes "already in the past" (the clock starts
+                // 1 ms after SimTime::ZERO, so ZERO is always expired).
+                req = req.deadline(if off == 0 {
+                    gr_sim::SimTime::ZERO
+                } else {
+                    clock.now() + SimDuration::from_nanos(off)
+                });
+            }
+            match service.submit_request(sku.name, req) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::QueueFull { .. }) => outcomes.push("queue-full".to_string()),
+                Err(ServiceError::DeadlineExceeded) => {
+                    outcomes.push("expired-at-admission".to_string());
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        clock.advance(round.advance);
+        service.resume();
+        service.quiesce();
+        // Every admitted ticket has resolved by now; wait() must never
+        // hang (a hang here fails the test via the harness timeout).
+        for t in tickets {
+            outcomes.push(match t.wait() {
+                Ok(outcome) => format!("ok:{:016x}", checksum(&outcome.ios[0].outputs)),
+                Err(ServiceError::DeadlineExceeded) => "deadline-missed".to_string(),
+                Err(ServiceError::Replay(e)) => format!("fault:{e}"),
+                Err(e) => panic!("unexpected ticket error: {e}"),
+            });
+        }
+    }
+
+    let stats = service.stats();
+    service.shutdown();
+    (outcomes, stats)
+}
+
+fn stress_one_sku(sku: &'static GpuSku, env: EnvKind, seed: u64) {
+    let blobs = vec![
+        record_vecadd_blob(sku, 32, seed),
+        record_vecadd_blob(sku, 16, seed + 1),
+    ];
+    for shape in [Shape::Steady, Shape::Bursty, Shape::Adversarial] {
+        let schedule = make_schedule(shape, seed, 6);
+        let submitted: usize = schedule.iter().map(|r| r.submits.len()).sum();
+
+        let (outcomes, stats) = run_schedule(sku, env, &blobs, &schedule);
+
+        // (a) Every ticket resolved exactly once.
+        assert_eq!(
+            outcomes.len(),
+            submitted,
+            "{shape:?}: every submission must resolve exactly once"
+        );
+        // (b) The shard metrics balance: nothing queued, nothing in
+        // flight, every submission accounted to a terminal outcome.
+        let shard = stats.shard(sku.name).unwrap();
+        assert_eq!(shard.depth, 0, "{shape:?}: drained");
+        assert_eq!(shard.in_flight, 0, "{shape:?}: idle");
+        assert_eq!(shard.submitted, submitted as u64, "{shape:?}");
+        assert_eq!(shard.resolved(), submitted as u64, "{shape:?}: {shard:?}");
+        assert!(shard.is_consistent(), "{shape:?}: {shard:?}");
+        let by_kind = |pat: &str| outcomes.iter().filter(|o| o.starts_with(pat)).count() as u64;
+        assert_eq!(shard.completed, by_kind("ok:"), "{shape:?}");
+        assert_eq!(shard.rejected_full, by_kind("queue-full"), "{shape:?}");
+        assert_eq!(
+            shard.rejected_expired,
+            by_kind("expired-at-admission"),
+            "{shape:?}"
+        );
+        assert_eq!(
+            shard.deadline_missed,
+            by_kind("deadline-missed"),
+            "{shape:?}"
+        );
+        assert_eq!(shard.faults, by_kind("fault:"), "{shape:?}");
+        // The overload shapes must actually exercise shedding, faults,
+        // and coalescing, or the test proves nothing.
+        if shape != Shape::Steady {
+            assert!(
+                shard.batch_sizes.len() > 1,
+                "{shape:?} never formed a dynamic batch: {shard:?}"
+            );
+        }
+        match shape {
+            Shape::Steady => {}
+            Shape::Bursty => {
+                assert!(shard.rejected_full > 0, "bursty load never overflowed");
+            }
+            Shape::Adversarial => {
+                assert!(shard.faults > 0, "adversarial load never faulted");
+                assert!(
+                    shard.deadline_missed + shard.rejected_expired > 0,
+                    "adversarial load never missed a deadline"
+                );
+            }
+        }
+
+        // (c) Same seed, fresh service: bit-identical outcome sequence
+        // (outputs included, via the checksums) and identical metrics.
+        let (outcomes2, stats2) = run_schedule(sku, env, &blobs, &schedule);
+        assert_eq!(outcomes, outcomes2, "{shape:?}: outcome sequence diverged");
+        assert_eq!(
+            stats.shard(sku.name),
+            stats2.shard(sku.name),
+            "{shape:?}: shard metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn stress_schedules_are_deterministic_on_mali() {
+    stress_one_sku(&sku::MALI_G71, EnvKind::UserLevel, 0xA11CE);
+}
+
+#[test]
+fn stress_schedules_are_deterministic_on_v3d() {
+    stress_one_sku(&sku::V3D_RPI4, EnvKind::KernelLevel, 0xB0B);
+}
