@@ -71,6 +71,9 @@ fn batch_case(sku_ref: &'static GpuSku, env: EnvKind, wall_reps: usize) -> CaseR
         let machine = gr_gpu::Machine::new(sku_ref, 7);
         let environment = Environment::new(env, machine).expect("env");
         let mut replayer = Replayer::new(environment);
+        // This bench measures pure per-batch prologue amortization; the
+        // cross-batch residency win is measured by `bench_residency`.
+        replayer.set_residency(false);
         let id = replayer.load_bytes(&rm.blobs[0]).expect("load");
         (replayer, id)
     };

@@ -1,0 +1,254 @@
+//! Benchmark for cross-batch warm residency (`DESIGN.md` §13).
+//!
+//! Records MNIST once per SKU, then drives a one-worker service in
+//! steady state — repeated waves of 4 compatible single-input requests,
+//! each wave coalescing into one formed batch of 4 — two ways:
+//!
+//! * **per-batch prologue** (`ShardSpec::residency(false)`) — every
+//!   formed batch re-runs the recorded reset/upload/remap prologue, the
+//!   pre-residency behaviour;
+//! * **resident** (the default) — consecutive batches of the same
+//!   recording consult the DRAM dirty log and elide every prologue
+//!   action whose backing memory is provably unchanged, re-uploading
+//!   only the log-proven dirty subranges.
+//!
+//! Both modes use the same lock-step protocol (pause → submit 4 →
+//! resume → quiesce) and a warm-up wave, so the steady-state regime —
+//! small formed batches on a hot recording, exactly where prologue cost
+//! dominates — is measured on the worker machine's *virtual* clock.
+//! Hard-fails unless every output is bit-identical to the CPU reference,
+//! the resident mode actually elided prologue work
+//! (`ShardStats::prologue_skipped > 0`), and the speedup is ≥ 1.3× on
+//! every SKU.
+//!
+//! Usage: `bench_residency [--smoke] [--out PATH]`
+//!
+//! Writes `BENCH_residency.json` at the workspace root (or `PATH`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gr_bench::record_model;
+use gr_gpu::{sku, GpuSku};
+use gr_mlfw::cpu_ref;
+use gr_mlfw::fusion::Granularity;
+use gr_mlfw::models;
+use gr_replayer::{EnvKind, ReplayIo};
+use gr_service::{ReplayRequest, ReplayService, ShardSpec};
+use gr_sim::SimRng;
+
+const BATCH: usize = 4;
+
+struct CaseResult {
+    sku: &'static str,
+    env: EnvKind,
+    per_batch_virtual_ms: f64,
+    resident_virtual_ms: f64,
+    per_batch_wall_ms: f64,
+    resident_wall_ms: f64,
+    prologue_skipped: u64,
+}
+
+impl CaseResult {
+    fn virtual_speedup(&self) -> f64 {
+        self.per_batch_virtual_ms / self.resident_virtual_ms
+    }
+    fn wall_speedup(&self) -> f64 {
+        self.per_batch_wall_ms / self.resident_wall_ms
+    }
+}
+
+fn random_input(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n).map(|_| rng.unit_f64() as f32).collect()
+}
+
+/// Drains `reps` steady-state waves of BATCH queued singles through a
+/// one-worker service; returns (virtual ms per wave, best wall ms per
+/// wave, lifetime prologue_skipped).
+fn drive(
+    sku_ref: &'static GpuSku,
+    env: EnvKind,
+    blob: &[u8],
+    inputs: &[Vec<f32>],
+    expected: &[Vec<f32>],
+    residency: bool,
+    reps: usize,
+) -> (f64, f64, u64) {
+    let service = ReplayService::builder()
+        .shard(
+            ShardSpec::new(sku_ref, env, vec![blob.to_vec()])
+                .queue_cap(BATCH * 2)
+                .max_batch(BATCH)
+                .residency(residency),
+        )
+        .spawn()
+        .expect("spawn service");
+    let machine = service.machines(sku_ref.name).expect("machines")[0].clone();
+
+    let rec = gr_recording::Recording::from_bytes(blob).expect("recording");
+    let make_io = |k: usize| {
+        let mut io = ReplayIo::for_recording(&rec);
+        io.set_input_f32(0, &inputs[k]).expect("input shape");
+        io
+    };
+    let run_wave = |check: bool| -> f64 {
+        service.pause();
+        let tickets: Vec<_> = (0..BATCH)
+            .map(|k| {
+                service
+                    .submit_request(sku_ref.name, ReplayRequest::single(0, make_io(k)))
+                    .expect("queue depth fits")
+            })
+            .collect();
+        let w = Instant::now();
+        service.resume();
+        service.quiesce();
+        let wall = w.elapsed().as_secs_f64() * 1e3;
+        for (k, t) in tickets.into_iter().enumerate() {
+            let outcome = t.wait().expect("replay");
+            assert_eq!(
+                outcome.report.elements, BATCH,
+                "all {BATCH} queued singles must coalesce into one batch"
+            );
+            if check {
+                assert_eq!(
+                    outcome.ios[0].output_f32(0).expect("output"),
+                    expected[k],
+                    "{}: output diverged from CPU reference",
+                    sku_ref.name
+                );
+            }
+        }
+        wall
+    };
+
+    // Warm-up wave: both modes start from an established warm machine
+    // (and, in resident mode, an armed residency anchor).
+    run_wave(true);
+
+    let t0 = machine.now();
+    let mut wall_ms = f64::INFINITY;
+    for rep in 0..reps {
+        wall_ms = wall_ms.min(run_wave(rep == 0));
+    }
+    let virtual_ms = (machine.now() - t0).as_nanos() as f64 / 1e6 / reps as f64;
+    let stats = service.stats();
+    let skipped = stats
+        .shard(sku_ref.name)
+        .map(|s| s.prologue_skipped)
+        .unwrap_or(0);
+    service.shutdown();
+    (virtual_ms, wall_ms, skipped)
+}
+
+fn residency_case(sku_ref: &'static GpuSku, env: EnvKind, reps: usize) -> CaseResult {
+    let rm = record_model(sku_ref, &models::mnist(), Granularity::WholeNn, true, 7);
+    let inputs: Vec<Vec<f32>> = (0..BATCH)
+        .map(|k| random_input(rm.net.input_len(), 5000 + k as u64))
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| cpu_ref::cpu_infer(&rm.net, i))
+        .collect();
+
+    let (per_batch_virtual_ms, per_batch_wall_ms, cold_skipped) =
+        drive(sku_ref, env, &rm.blobs[0], &inputs, &expected, false, reps);
+    assert_eq!(cold_skipped, 0, "residency off must never elide");
+    let (resident_virtual_ms, resident_wall_ms, prologue_skipped) =
+        drive(sku_ref, env, &rm.blobs[0], &inputs, &expected, true, reps);
+    assert!(
+        prologue_skipped > 0,
+        "steady-state resident batches must elide prologue actions"
+    );
+
+    CaseResult {
+        sku: sku_ref.name,
+        env,
+        per_batch_virtual_ms,
+        resident_virtual_ms,
+        per_batch_wall_ms,
+        resident_wall_ms,
+        prologue_skipped,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_residency.json").to_string()
+        });
+    let reps = if smoke { 3 } else { 12 };
+
+    eprintln!("bench_residency: steady-state batch-{BATCH} MNIST waves, Mali G71...");
+    let mali = residency_case(&sku::MALI_G71, EnvKind::UserLevel, reps);
+    eprintln!("bench_residency: steady-state batch-{BATCH} MNIST waves, v3d...");
+    let v3d = residency_case(&sku::V3D_RPI4, EnvKind::KernelLevel, reps);
+
+    let cases = [mali, v3d];
+    let min_virtual = cases
+        .iter()
+        .map(CaseResult::virtual_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_wall = cases
+        .iter()
+        .map(CaseResult::wall_speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut json = String::from("{\n  \"bench\": \"cross_batch_warm_residency\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sku\": \"{}\", \"env\": \"{}\", \
+             \"per_batch_prologue_virtual_ms\": {:.3}, \"resident_virtual_ms\": {:.3}, \
+             \"virtual_speedup\": {:.2}, \
+             \"per_batch_prologue_wall_ms\": {:.3}, \"resident_wall_ms\": {:.3}, \
+             \"wall_speedup\": {:.2}, \
+             \"prologue_skipped\": {}}}",
+            c.sku,
+            c.env,
+            c.per_batch_virtual_ms,
+            c.resident_virtual_ms,
+            c.virtual_speedup(),
+            c.per_batch_wall_ms,
+            c.resident_wall_ms,
+            c.wall_speedup(),
+            c.prologue_skipped,
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"min_virtual_speedup\": {min_virtual:.2},");
+    let _ = writeln!(json, "  \"min_wall_speedup\": {min_wall:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_residency.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    for c in &cases {
+        eprintln!(
+            "  {} ({}): virtual {:.3} -> {:.3} ms per {BATCH}-wave ({:.2}x), wall {:.3} -> {:.3} ms ({:.2}x), {} prologue actions elided",
+            c.sku,
+            c.env,
+            c.per_batch_virtual_ms,
+            c.resident_virtual_ms,
+            c.virtual_speedup(),
+            c.per_batch_wall_ms,
+            c.resident_wall_ms,
+            c.wall_speedup(),
+            c.prologue_skipped,
+        );
+    }
+    assert!(
+        min_virtual >= 1.3,
+        "acceptance: warm residency must give >= 1.3x steady-state throughput at batch {BATCH}, got {min_virtual:.2}x"
+    );
+}

@@ -76,7 +76,11 @@ fn drive(
         .shard(
             ShardSpec::new(sku_ref, env, vec![blob.to_vec()])
                 .queue_cap(DEPTH * 2)
-                .max_batch(max_batch),
+                .max_batch(max_batch)
+                // This bench isolates the dynamic-batching win; the
+                // cross-batch residency win is measured by
+                // `bench_residency`.
+                .residency(false),
         )
         .spawn()
         .expect("spawn service");

@@ -13,6 +13,17 @@ pub const ACTION_DISPATCH: SimDuration = SimDuration::from_nanos(300);
 /// [`ACTION_DISPATCH`] is charged once per suffix action at batch start.
 pub const ACTION_DISPATCH_WARM: SimDuration = SimDuration::from_nanos(100);
 
+/// Bookkeeping charge for a prologue action elided by cross-batch warm
+/// residency: the replayer still walks the resolved action list and
+/// consults the dirty log, but performs no register access or transfer.
+pub const ACTION_RESIDENT_SKIP: SimDuration = SimDuration::from_nanos(20);
+
+/// Hashing throughput for the residency hash fallback (verifying a dump's
+/// backing memory is byte-identical when the dirty log overflowed),
+/// bytes/sec. Faster than an upload — it reads DRAM once and does ALU
+/// work — but far from free, which is why the log is the primary proof.
+pub const HASH_BW: f64 = 8.0e9;
+
 /// Static verification per action (§5.1).
 pub const VERIFY_PER_ACTION: SimDuration = SimDuration::from_nanos(150);
 

@@ -235,6 +235,35 @@ impl NanoDriver {
         Ok(())
     }
 
+    /// Resolves the GPU-virtual range `[va, va+len)` to its backing
+    /// physical ranges (contiguous pages coalesced). Used by the warm-
+    /// residency state machine to query the DRAM dirty log about the
+    /// memory behind a dump.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any part of the range is unmapped.
+    pub fn phys_ranges(&self, va: u64, len: u64) -> Result<Vec<(u64, usize)>, ReplayError> {
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        let mut done = 0u64;
+        while done < len {
+            let cur = va + done;
+            let (base, off) = self.locate(cur)?;
+            let region = &self.regions[&base];
+            let page = off / PAGE_SIZE;
+            let chunk = ((PAGE_SIZE - off % PAGE_SIZE) as u64).min(len - done);
+            let pa = region.pas[page] + (off % PAGE_SIZE) as u64;
+            match out.last_mut() {
+                Some((last_pa, last_len)) if *last_pa + *last_len as u64 == pa => {
+                    *last_len += chunk as usize;
+                }
+                _ => out.push((pa, chunk as usize)),
+            }
+            done += chunk;
+        }
+        Ok(out)
+    }
+
     /// Snapshot of all mapped content (checkpointing).
     pub fn snapshot_memory(&self) -> Vec<(u64, Vec<u8>)> {
         self.regions

@@ -36,6 +36,90 @@ pub struct VerifyReport {
     /// map/unmap/table-base switch), so the prologue can run once per warm
     /// machine and the suffix once per batch element.
     pub batch_split: Option<usize>,
+    /// The memory ranges backing each prologue `Upload` action (empty
+    /// when `batch_split` is `None`). Cross-batch warm residency consults
+    /// these against the dirty log to decide which uploads can be elided
+    /// on an unchanged machine; register bring-up and `MapGpuMem` carry
+    /// no annotation because a resident batch elides them unconditionally
+    /// (they are warm and idempotent — the maps rewrite nothing).
+    pub prologue_ranges: Vec<PrologueRange>,
+    /// `true` when the prologue's shape additionally admits cross-batch
+    /// residency: every prologue action from the first `Upload` onward is
+    /// itself an `Upload`. Elided register actions cannot observe memory,
+    /// and before the first upload resident memory equals post-suffix
+    /// memory in cold warm-batch replay too — so with this shape no
+    /// observation point can distinguish a resident prologue from a full
+    /// one mid-establishment, and later uploads always shadow earlier
+    /// ones with nothing in between. Recordings that interleave register
+    /// work with uploads fall back to the full per-batch prologue.
+    pub residency_safe: bool,
+}
+
+/// The VA range a prologue upload establishes, annotated at verify time
+/// for the residency state machine (see `DESIGN.md` §13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrologueRange {
+    /// Action index within `[0, batch_split)`.
+    pub index: usize,
+    /// First GPU VA the upload touches.
+    pub va: u64,
+    /// Byte length of the range.
+    pub len: u64,
+    /// The dump the action uploads.
+    pub upload: u32,
+    /// `Upload` only: `true` when no *later* prologue upload overlaps this
+    /// dump's range, so the post-prologue content of the range equals the
+    /// dump bytes and a static content hash can stand in for the dirty
+    /// log when it overflowed. Overlapped dumps must re-upload instead.
+    pub hash_skippable: bool,
+}
+
+/// Annotates every `Upload` action in the prologue `[0, split)` with its
+/// backing VA range (documented on [`VerifyReport::prologue_ranges`]).
+fn annotate_prologue(rec: &Recording, split: usize) -> Vec<PrologueRange> {
+    let mut out = Vec::new();
+    for (i, ta) in rec.actions[..split].iter().enumerate() {
+        let Action::Upload { dump_idx } = &ta.action else {
+            continue;
+        };
+        let Some(dump) = rec.dumps.get(*dump_idx as usize) else {
+            continue; // verify() proper rejects this recording
+        };
+        let (va, len) = (dump.va, dump.bytes.len() as u64);
+        let hash_skippable = rec.actions[i + 1..split].iter().all(|later| {
+            let Action::Upload { dump_idx: later_d } = &later.action else {
+                return true;
+            };
+            let Some(ld) = rec.dumps.get(*later_d as usize) else {
+                return true;
+            };
+            // Disjoint ranges keep the hash meaningful.
+            ld.va >= va + len || ld.va + ld.bytes.len() as u64 <= va
+        });
+        out.push(PrologueRange {
+            index: i,
+            va,
+            len,
+            upload: *dump_idx,
+            hash_skippable,
+        });
+    }
+    out
+}
+
+/// Residency shape check (documented on [`VerifyReport::residency_safe`]):
+/// from the first prologue `Upload` onward, only `Upload` actions may
+/// follow inside the prologue.
+fn residency_safe(rec: &Recording, split: usize) -> bool {
+    match rec.actions[..split]
+        .iter()
+        .position(|ta| matches!(ta.action, Action::Upload { .. }))
+    {
+        None => true,
+        Some(first) => rec.actions[first..split]
+            .iter()
+            .all(|ta| matches!(ta.action, Action::Upload { .. })),
+    }
 }
 
 /// Finds `Upload` actions whose dump range is fully overwritten by a later
@@ -233,12 +317,15 @@ pub fn verify(
             "recording ends inside irq context".into(),
         ));
     }
+    let batch_split = find_batch_split(rec, iface);
     Ok(VerifyReport {
         actions: rec.actions.len(),
         peak_pages: peak,
         registers_touched: regs.len(),
         dead_uploads: find_dead_uploads(rec),
-        batch_split: find_batch_split(rec, iface),
+        batch_split,
+        prologue_ranges: batch_split.map_or_else(Vec::new, |s| annotate_prologue(rec, s)),
+        residency_safe: batch_split.is_some_and(|s| residency_safe(rec, s)),
     })
 }
 
@@ -399,6 +486,84 @@ mod tests {
         assert_eq!(
             verify(&rec3, NanoIface::Mali, 1024).unwrap().batch_split,
             None
+        );
+    }
+
+    #[test]
+    fn prologue_ranges_annotate_uploads_and_maps() {
+        let mut rec = base_rec();
+        rec.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![1; PAGE_SIZE],
+        });
+        // A second dump overlapping the first: the first loses hash
+        // skippability (its post-prologue content is not its own bytes),
+        // the second keeps it.
+        rec.dumps.push(Dump {
+            va: 0x10_0800,
+            bytes: vec![2; 64],
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 1 }));
+        rec.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_1000,
+            len: 64,
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        let report = verify(&rec, NanoIface::Mali, 1024).unwrap();
+        assert_eq!(report.batch_split, Some(3));
+        assert!(report.residency_safe, "tail-consecutive uploads");
+        assert_eq!(report.prologue_ranges.len(), 2);
+        let up0 = &report.prologue_ranges[0];
+        assert_eq!((up0.index, up0.va, up0.len), (1, 0x10_0000, 4096));
+        assert_eq!(up0.upload, 0);
+        assert!(!up0.hash_skippable, "overlapped by the later upload");
+        let up1 = &report.prologue_ranges[1];
+        assert_eq!(up1.upload, 1);
+        assert!(up1.hash_skippable, "nothing later overlaps it");
+
+        // Unbatchable recordings carry no annotations and no residency.
+        let plain = base_rec();
+        let plain_report = verify(&plain, NanoIface::Mali, 1024).unwrap();
+        assert!(plain_report.prologue_ranges.is_empty());
+        assert!(!plain_report.residency_safe);
+    }
+
+    #[test]
+    fn register_work_after_an_upload_disables_residency() {
+        // A register write between prologue uploads could be a job kick
+        // observing the half-established memory image: such prologues
+        // must fall back to the full per-batch prologue.
+        let mut rec = base_rec();
+        rec.dumps.push(Dump {
+            va: 0x10_0000,
+            bytes: vec![1; 64],
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.actions.push(TimedAction::immediate(Action::RegWrite {
+            reg: gr_gpu::mali::regs::JS0_COMMAND,
+            mask: u32::MAX,
+            val: 1,
+        }));
+        rec.actions
+            .push(TimedAction::immediate(Action::Upload { dump_idx: 0 }));
+        rec.inputs.push(IoSlot {
+            name: "in".into(),
+            va: 0x10_1000,
+            len: 64,
+        });
+        rec.actions
+            .push(TimedAction::immediate(Action::CopyToGpu { slot: 0 }));
+        let report = verify(&rec, NanoIface::Mali, 1024).unwrap();
+        assert!(report.batch_split.is_some(), "still batchable");
+        assert!(
+            !report.residency_safe,
+            "register work between uploads must disable residency"
         );
     }
 

@@ -41,6 +41,13 @@ pub trait GpuDev: Send {
 
     /// Monotonic count of successfully completed jobs.
     fn jobs_completed(&self) -> u64;
+
+    /// Handle to the device's per-batch access log (see
+    /// [`crate::access`]); the replayer arms it around warm-batch
+    /// suffixes to learn the suffix's first-read/write sets.
+    fn access_log(&self) -> crate::access::SharedAccessLog {
+        crate::access::SharedAccessLog::new()
+    }
 }
 
 /// Software TLB: caches `page_va → (page_pa, writable)` so the execution

@@ -27,6 +27,7 @@
 //! assert_eq!(machine.gpu_read32(gr_gpu::mali::regs::GPU_ID), sku::MALI_G71.gpu_id);
 //! ```
 
+pub mod access;
 pub mod device;
 pub mod fastpath;
 pub mod faults;
@@ -37,6 +38,7 @@ pub mod timing;
 pub mod v3d;
 pub mod vm;
 
+pub use access::{AccessLog, AccessSnapshot, IntervalSet, LoggingVaMem, SharedAccessLog};
 pub use device::{GpuDev, SoftTlb, TranslatingVaMem};
 pub use faults::FaultKind;
 pub use machine::{Machine, WaitOutcome, DEFAULT_DRAM_SIZE, DRAM_BASE};

@@ -45,6 +45,7 @@ pub struct Machine {
     pmc: SharedPmc,
     mbox: Arc<Mutex<Mailbox>>,
     gpu: Arc<Mutex<Box<dyn GpuDev>>>,
+    access: crate::access::SharedAccessLog,
     frames: Arc<Mutex<FrameAllocator>>,
     trace: TraceBus,
     sku: &'static GpuSku,
@@ -93,6 +94,7 @@ impl Machine {
             )),
         };
         let frames = FrameAllocator::new(DRAM_BASE, dram_size / PAGE_SIZE);
+        let access = gpu.access_log();
         Machine {
             clock,
             mem,
@@ -100,6 +102,7 @@ impl Machine {
             pmc,
             mbox,
             gpu: Arc::new(Mutex::new(gpu)),
+            access,
             frames: Arc::new(Mutex::new(frames)),
             trace: TraceBus::new(),
             sku,
@@ -201,6 +204,12 @@ impl Machine {
     /// Successfully completed jobs since machine creation.
     pub fn gpu_jobs_completed(&self) -> u64 {
         self.gpu.lock().jobs_completed()
+    }
+
+    /// The GPU's per-batch access log (armed by the replayer around warm
+    /// batch suffixes; see [`crate::access`]).
+    pub fn gpu_access(&self) -> &crate::access::SharedAccessLog {
+        &self.access
     }
 
     /// Injects a hardware fault (§7.2 experiments).

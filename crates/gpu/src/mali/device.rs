@@ -58,6 +58,8 @@ pub struct MaliGpu {
     pmc: SharedPmc,
     rng: SimRng,
 
+    access: crate::access::SharedAccessLog,
+
     gpu_rawstat: u32,
     gpu_mask: u32,
     job_rawstat: u32,
@@ -132,6 +134,7 @@ impl MaliGpu {
             irq,
             pmc,
             rng,
+            access: crate::access::SharedAccessLog::new(),
             gpu_rawstat: 0,
             gpu_mask: 0,
             job_rawstat: 0,
@@ -214,6 +217,7 @@ impl MaliGpu {
         // Binaries (job headers, shader blobs) must come from pages mapped
         // executable — this is the hardware behaviour behind the paper's
         // §6.1 dump heuristic.
+        self.access.note_read(va, len as u64);
         let mut out = vec![0u8; len];
         let mut done = 0usize;
         while done < len {
@@ -376,6 +380,10 @@ impl MaliGpu {
         if let Some(c) = self.cached_chain.take() {
             if c.head_va == head_va && fastpath::enabled() {
                 let mut vamem = TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb);
+                let mut vamem = crate::access::LoggingVaMem {
+                    inner: &mut vamem,
+                    log: &self.access,
+                };
                 for op in &c.ops {
                     execute_with(op, &mut vamem, &mut self.scratch).map_err(to_fault)?;
                 }
@@ -393,6 +401,10 @@ impl MaliGpu {
                 TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb)
             } else {
                 TranslatingVaMem::legacy(&mem, translate)
+            };
+            let mut vamem = crate::access::LoggingVaMem {
+                inner: &mut vamem,
+                log: &self.access,
             };
             execute_with(&op, &mut vamem, &mut self.scratch).map_err(to_fault)?;
         }
@@ -458,6 +470,9 @@ impl MaliGpu {
         self.shader_pwron = 0;
         self.flushing = 0;
         self.tlb.flush();
+        // Reset invalidates every outstanding warm-residency mark, the
+        // same way it invalidates cached translations.
+        self.mem.bump_dirty_epoch();
         self.cached_chain = None;
         self.resetting = true;
         self.update_irq_lines();
@@ -565,13 +580,18 @@ impl GpuDev for MaliGpu {
                 self.transtab_active = self.transtab_staged;
                 self.transcfg_active = self.transcfg_staged;
                 // Address-space switch: cached translations and shaders
-                // decoded under the old translation are both stale.
+                // decoded under the old translation are both stale, and so
+                // is any warm-residency mark taken under the old space.
                 self.tlb.flush();
+                self.mem.bump_dirty_epoch();
                 self.cached_chain = None;
             }
             // AS_CMD_FLUSH: TLB shootdown, instantaneous in the model.
+            // Issued on unmap, where the freed frames may be recycled —
+            // outstanding residency marks are no longer trustworthy.
             r::AS0_COMMAND if val == r::AS_CMD_FLUSH => {
                 self.tlb.flush();
+                self.mem.bump_dirty_epoch();
                 self.cached_chain = None;
             }
             r::JOB_IRQ_CLEAR => {
@@ -684,6 +704,10 @@ impl GpuDev for MaliGpu {
 
     fn jobs_completed(&self) -> u64 {
         self.jobs_completed
+    }
+
+    fn access_log(&self) -> crate::access::SharedAccessLog {
+        self.access.clone()
     }
 }
 

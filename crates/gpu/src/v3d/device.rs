@@ -60,6 +60,8 @@ pub struct V3dGpu {
     mmu_addr: u32,
 
     running: bool,
+    access: crate::access::SharedAccessLog,
+
     resetting: bool,
     flushing: bool,
     flush_done_at: SimTime,
@@ -110,6 +112,7 @@ impl V3dGpu {
             mmu_ctrl: 0,
             mmu_addr: 0,
             running: false,
+            access: crate::access::SharedAccessLog::new(),
             resetting: false,
             flushing: false,
             flush_done_at: SimTime::ZERO,
@@ -143,6 +146,7 @@ impl V3dGpu {
     }
 
     fn fetch(&self, va: u64, len: usize) -> Result<Vec<u8>, ListFault> {
+        self.access.note_read(va, len as u64);
         let mut out = vec![0u8; len];
         let mut done = 0usize;
         while done < len {
@@ -301,6 +305,10 @@ impl V3dGpu {
             let mut failure = None;
             {
                 let mut vamem = TranslatingVaMem::with_tlb(&mem, translate, &mut self.tlb);
+                let mut vamem = crate::access::LoggingVaMem {
+                    inner: &mut vamem,
+                    log: &self.access,
+                };
                 for op in &ops {
                     match execute_with(op, &mut vamem, &mut self.scratch) {
                         Ok(()) => {}
@@ -361,6 +369,10 @@ impl V3dGpu {
                     } else {
                         TranslatingVaMem::legacy(&mem, translate)
                     };
+                    let mut vamem = crate::access::LoggingVaMem {
+                        inner: &mut vamem,
+                        log: &self.access,
+                    };
                     match execute_blob(&blob, &mut vamem) {
                         Ok(()) => None,
                         Err(ExecError::MemFault { va }) => Some(Ok(va)),
@@ -400,6 +412,8 @@ impl V3dGpu {
         self.ct0ea = 0;
         self.offline_fault_pending = false;
         self.tlb.flush();
+        // Reset invalidates warm-residency marks like cached translations.
+        self.mem.bump_dirty_epoch();
         self.cached_list = None;
         self.update_irq_line();
         self.events
@@ -462,20 +476,24 @@ impl GpuDev for V3dGpu {
             r::MMU_PT_BASE_LO => {
                 self.mmu_pt_base = (self.mmu_pt_base & !0xFFFF_FFFF) | u64::from(val);
                 self.tlb.flush();
+                self.mem.bump_dirty_epoch();
                 self.cached_list = None;
             }
             r::MMU_PT_BASE_HI => {
                 self.mmu_pt_base = (self.mmu_pt_base & 0xFFFF_FFFF) | (u64::from(val) << 32);
                 self.tlb.flush();
+                self.mem.bump_dirty_epoch();
                 self.cached_list = None;
             }
             r::MMU_CTRL => {
                 // Enable/disable or reconfigure acts as a TLB shootdown;
-                // shaders decoded under the old translation are stale too.
+                // shaders decoded under the old translation are stale too,
+                // as are warm-residency marks taken under the old config.
                 // The TLB_CLEAR command bit is self-clearing: it forces the
                 // flush but is never stored.
                 self.mmu_ctrl = val & !r::MMU_CTRL_TLB_CLEAR;
                 self.tlb.flush();
+                self.mem.bump_dirty_epoch();
                 self.cached_list = None;
             }
             r::CTL_RESET if val & 1 != 0 => {
@@ -543,6 +561,10 @@ impl GpuDev for V3dGpu {
 
     fn jobs_completed(&self) -> u64 {
         self.jobs_completed
+    }
+
+    fn access_log(&self) -> crate::access::SharedAccessLog {
+        self.access.clone()
     }
 }
 

@@ -26,9 +26,21 @@
 //! * **fault isolation**: a malformed or poisoned element fails only its
 //!   own ticket (§5.4 recovery re-warms the machine mid-batch); the
 //!   worker, its warm state, and its batchmates all survive;
+//! * **cross-batch warm residency**: a worker serving consecutive batches
+//!   of the same recording elides the reset/upload/remap prologue when
+//!   the DRAM dirty log proves the machine's memory unchanged since the
+//!   previous batch (`DESIGN.md` §13); residency drops on recording
+//!   switch, GPU reset/fault re-warm, and hash-fallback mismatch, and
+//!   the elisions surface as `ShardStats::prologue_skipped`;
+//! * **replay-progress clock**: after each formed batch a worker advances
+//!   the service clock to its machine's virtual timeline, so queued
+//!   deadlines expire from replay progress without an external driver
+//!   (disable with [`ReplayServiceBuilder::manual_clock`]; the explicit
+//!   `clock().advance(..)` API still works either way);
 //! * **observability**: [`ReplayService::stats`] snapshots per-shard
-//!   queue depth, admission/rejection counters, deadline misses, and the
-//!   formed-batch size histogram.
+//!   queue depth, admission/rejection counters, deadline misses, the
+//!   formed-batch size histogram, residency elisions, and per-recording
+//!   queue-depth/dequeue lanes ([`RecordingStats`]).
 //!
 //! ```no_run
 //! use gr_service::{ReplayRequest, ReplayService, ShardSpec};
@@ -72,7 +84,7 @@ use gr_replayer::{
 use gr_sim::{SimClock, SimTime};
 
 pub use queue::EdfQueue;
-pub use stats::{ServiceStats, ShardStats};
+pub use stats::{RecordingStats, ServiceStats, ShardStats};
 
 use stats::ShardMetrics;
 
@@ -147,6 +159,11 @@ pub struct ShardSpec {
     /// Most tickets a worker may coalesce into one warm batch (1
     /// disables dynamic batching).
     pub max_batch: usize,
+    /// Cross-batch warm residency on the shard's workers (on by default):
+    /// consecutive batches of the same recording elide the prologue when
+    /// the dirty log proves the machine's memory unchanged. Benchmarks
+    /// turn it off to measure the per-batch-prologue baseline.
+    pub residency: bool,
 }
 
 impl ShardSpec {
@@ -161,6 +178,7 @@ impl ShardSpec {
             seed: 1,
             queue_cap: 64,
             max_batch: 8,
+            residency: true,
         }
     }
 
@@ -189,6 +207,14 @@ impl ShardSpec {
     #[must_use]
     pub fn max_batch(mut self, n: usize) -> ShardSpec {
         self.max_batch = n.max(1);
+        self
+    }
+
+    /// Enables or disables cross-batch warm residency on the shard's
+    /// workers (see [`ShardSpec::residency`]).
+    #[must_use]
+    pub fn residency(mut self, on: bool) -> ShardSpec {
+        self.residency = on;
         self
     }
 }
@@ -306,6 +332,10 @@ struct ShardInner {
     sku: &'static str,
     max_batch: usize,
     clock: SimClock,
+    /// When set (the default), workers advance the service clock to their
+    /// machine's virtual timeline after every formed batch, so queued
+    /// deadlines expire from replay progress without an external driver.
+    auto_clock: bool,
     state: Mutex<ShardState>,
     work_cv: Condvar,
     idle_cv: Condvar,
@@ -329,6 +359,7 @@ struct Shard {
 #[derive(Default)]
 pub struct ReplayServiceBuilder {
     shards: Vec<ShardSpec>,
+    manual_clock: bool,
 }
 
 impl ReplayServiceBuilder {
@@ -336,6 +367,16 @@ impl ReplayServiceBuilder {
     #[must_use]
     pub fn shard(mut self, spec: ShardSpec) -> ReplayServiceBuilder {
         self.shards.push(spec);
+        self
+    }
+
+    /// Disables the replay-progress clock tick: the service clock then
+    /// only moves when the caller advances it explicitly (see
+    /// [`ReplayService::clock`]). By default workers advance the clock to
+    /// their machine's virtual timeline after each formed batch.
+    #[must_use]
+    pub fn manual_clock(mut self) -> ReplayServiceBuilder {
+        self.manual_clock = true;
         self
     }
 
@@ -361,6 +402,7 @@ impl ReplayServiceBuilder {
                 sku: spec.sku.name,
                 max_batch: spec.max_batch,
                 clock: clock.clone(),
+                auto_clock: !self.manual_clock,
                 state: Mutex::new(ShardState {
                     queue: EdfQueue::new(spec.queue_cap),
                     closed: false,
@@ -381,8 +423,9 @@ impl ReplayServiceBuilder {
                 let blobs = Arc::clone(&blobs);
                 let ready = ready_tx.clone();
                 let (sku, env, seed) = (spec.sku, spec.env, spec.seed + w as u64);
+                let residency = spec.residency;
                 workers.push(std::thread::spawn(move || {
-                    worker_main(sku, env, seed, w, &blobs, &inner, &ready)
+                    worker_main(sku, env, seed, w, residency, &blobs, &inner, &ready)
                 }));
             }
             drop(ready_tx);
@@ -435,10 +478,15 @@ fn form_batch(st: &mut ShardState, max_batch: usize, now: SimTime) -> Option<Vec
             None => return None,
             Some((Some(d), _)) if d < now => {
                 let (_, p) = st.queue.pop().expect("peeked entry");
+                st.metrics.note_dequeue(p.recording);
                 st.metrics.deadline_missed += 1;
                 let _ = p.reply.send(Err(ServiceError::DeadlineExceeded));
             }
-            Some(_) => break st.queue.pop().expect("peeked entry").1,
+            Some(_) => {
+                let (_, p) = st.queue.pop().expect("peeked entry");
+                st.metrics.note_dequeue(p.recording);
+                break p;
+            }
         }
     };
     let mut batch = vec![head];
@@ -458,6 +506,7 @@ fn form_batch(st: &mut ShardState, max_batch: usize, now: SimTime) -> Option<Vec
             !deadline.is_some_and(|d| d < now),
             "EDF order: a follower cannot be expired when the head survived the sweep"
         );
+        st.metrics.note_dequeue(p.recording);
         batch.push(p);
     }
     Some(batch)
@@ -491,6 +540,7 @@ impl Drop for WorkerGuard<'_> {
             st.closed = true;
             st.lost = true;
             for (_, p) in st.queue.drain() {
+                st.metrics.note_dequeue(p.recording);
                 st.metrics.worker_lost += 1;
                 let _ = p.reply.send(Err(ServiceError::WorkerLost));
             }
@@ -501,12 +551,13 @@ impl Drop for WorkerGuard<'_> {
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn worker_main(
     sku: &'static GpuSku,
     env_kind: EnvKind,
     seed: u64,
     worker: usize,
+    residency: bool,
     blobs: &[Vec<u8>],
     inner: &Arc<ShardInner>,
     ready: &Sender<(usize, Result<Machine, ReplayError>)>,
@@ -527,13 +578,14 @@ fn worker_main(
         }
     };
     let mut replayer = Replayer::new(env);
+    replayer.set_residency(residency);
     for blob in blobs {
         if let Err(e) = replayer.load_bytes(blob) {
             let _ = ready.send((worker, Err(e)));
             return stats;
         }
     }
-    let _ = ready.send((worker, Ok(machine)));
+    let _ = ready.send((worker, Ok(machine.clone())));
     let guard = WorkerGuard {
         inner,
         charged: std::cell::Cell::new(0),
@@ -571,8 +623,16 @@ fn worker_main(
 
         stats.jobs += 1;
         let recording = batch[0].recording;
-        let (tickets, retries, completed, faulted) =
+        let (tickets, retries, completed, faulted, prologue_skipped) =
             run_formed_batch(&mut replayer, recording, batch, worker, &mut stats);
+
+        // Replay-progress clock tick: deadlines expire from the worker
+        // machines' virtual timelines, no external driver needed. The
+        // service clock is monotonic (`advance_to`), so manual advances
+        // and multiple workers compose as "max of all timelines".
+        if inner.auto_clock {
+            inner.clock.advance_to(machine.now());
+        }
 
         let mut st = inner.lock();
         st.in_flight -= tickets;
@@ -581,6 +641,7 @@ fn worker_main(
         st.metrics.retries += u64::from(retries);
         st.metrics.completed += completed;
         st.metrics.faults += faulted;
+        st.metrics.prologue_skipped += prologue_skipped;
         if st.queue.is_empty() && st.in_flight == 0 {
             inner.idle_cv.notify_all();
         }
@@ -589,14 +650,14 @@ fn worker_main(
 
 /// Runs one formed batch through the fault-isolating batch replay and
 /// demuxes outputs and errors back to the individual tickets. Returns
-/// `(tickets, retries, completed, faulted)`.
+/// `(tickets, retries, completed, faulted, prologue_skipped)`.
 fn run_formed_batch(
     replayer: &mut Replayer,
     recording: usize,
     mut batch: Vec<Pending>,
     worker: usize,
     stats: &mut WorkerStats,
-) -> (usize, u32, u64, u64) {
+) -> (usize, u32, u64, u64, u64) {
     let tickets = batch.len();
     let mut spans = Vec::with_capacity(batch.len());
     let mut all_ios: Vec<ReplayIo> = Vec::new();
@@ -639,7 +700,13 @@ fn run_formed_batch(
                     }));
                 }
             }
-            (tickets, report.retries, completed, faulted)
+            (
+                tickets,
+                report.retries,
+                completed,
+                faulted,
+                report.prologue_skipped as u64,
+            )
         }
         Err(e) => {
             // Batch-scoped failure: every ticket is answered with the
@@ -649,7 +716,7 @@ fn run_formed_batch(
             for p in batch {
                 let _ = p.reply.send(Err(ServiceError::Replay(e.clone())));
             }
-            (tickets, 0, 0, tickets as u64)
+            (tickets, 0, 0, tickets as u64, 0)
         }
     }
 }
@@ -771,8 +838,9 @@ impl ReplayService {
             }
         }
         let (reply, rx) = channel();
+        let recording = req.recording;
         let pending = Pending {
-            recording: req.recording,
+            recording,
             ios: req.ios,
             reply,
         };
@@ -783,6 +851,7 @@ impl ReplayService {
                 cap: st.queue.cap(),
             });
         }
+        st.metrics.note_admit(recording);
         drop(st);
         shard.inner.work_cv.notify_one();
         Ok(Ticket { rx })
@@ -860,6 +929,7 @@ impl ReplayService {
                 st.paused = false; // a paused shard must still terminate
                 if !drain {
                     for (_, p) in st.queue.drain() {
+                        st.metrics.note_dequeue(p.recording);
                         st.metrics.shutdown_rejected += 1;
                         let _ = p.reply.send(Err(ServiceError::Shutdown));
                     }
@@ -891,6 +961,7 @@ impl Drop for ReplayService {
                 st.closed = true;
                 st.paused = false;
                 for (_, p) in st.queue.drain() {
+                    st.metrics.note_dequeue(p.recording);
                     st.metrics.shutdown_rejected += 1;
                     let _ = p.reply.send(Err(ServiceError::Shutdown));
                 }
@@ -990,6 +1061,18 @@ mod tests {
         assert_eq!(snapshot.shards.len(), 2);
         for shard in &snapshot.shards {
             assert!(shard.is_consistent(), "{shard:?}");
+            // Consecutive batches of the same recording on a warm worker
+            // elide prologue work; the stats must surface it.
+            assert!(
+                shard.prologue_skipped > 0,
+                "warm residency must elide prologue actions: {shard:?}"
+            );
+            // Per-recording lanes balance: everything admitted for
+            // recording 0 was dequeued by the drain.
+            assert_eq!(shard.per_recording.len(), 1);
+            assert_eq!(shard.per_recording[0].recording, 0);
+            assert_eq!(shard.per_recording[0].queued, 0);
+            assert_eq!(shard.per_recording[0].dequeued, 3);
         }
         let stats = service.shutdown();
         assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 6);

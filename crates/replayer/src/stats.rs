@@ -4,7 +4,26 @@
 //! element fault is counted under the shard lock, so a
 //! [`ServiceStats`](crate::ReplayService::stats) snapshot is always
 //! internally consistent: `submitted` equals the sum of every terminal
-//! outcome plus what is still queued or in flight.
+//! outcome plus what is still queued or in flight, and the per-recording
+//! lanes balance against the aggregate queue depth.
+
+use std::collections::BTreeMap;
+
+/// Per-recording queue occupancy and dequeue counters (the measurement
+/// half of cross-recording fairness: a starved recording shows a deep
+/// lane with a stalled dequeue count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingStats {
+    /// Index into the shard's recording list (unknown ids submitted by
+    /// clients get their own lane too — they still occupy the queue).
+    pub recording: usize,
+    /// Requests of this recording currently waiting in the queue.
+    pub queued: usize,
+    /// Requests of this recording ever removed from the queue — for batch
+    /// formation, deadline expiry at dequeue, or a shutdown/worker-lost
+    /// drain.
+    pub dequeued: u64,
+}
 
 /// Snapshot of one shard's scheduler state and lifetime counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,9 +59,15 @@ pub struct ShardStats {
     pub retries: u64,
     /// Batches formed and run (a lone request counts as a batch of 1).
     pub batches: u64,
+    /// Prologue actions elided by cross-batch warm residency, summed over
+    /// every formed batch (see `BatchReport::prologue_skipped`).
+    pub prologue_skipped: u64,
     /// Histogram of formed batch sizes: `batch_sizes[i]` counts batches
     /// that coalesced `i + 1` tickets.
     pub batch_sizes: Vec<u64>,
+    /// Per-recording queue depth and dequeue counters, sorted by
+    /// recording index.
+    pub per_recording: Vec<RecordingStats>,
 }
 
 impl ShardStats {
@@ -66,10 +91,22 @@ impl ShardStats {
             .sum()
     }
 
+    /// Requests that passed admission (everything submitted minus the
+    /// synchronous rejections).
+    pub fn admitted(&self) -> u64 {
+        self.submitted - self.rejected_full - self.rejected_expired
+    }
+
     /// Bookkeeping invariant: every submitted request is either resolved,
-    /// still queued, or in flight.
+    /// still queued, or in flight — and the per-recording lanes balance:
+    /// lane depths sum to the aggregate depth, and every admitted request
+    /// is either still in a lane or was dequeued from one.
     pub fn is_consistent(&self) -> bool {
+        let lanes_queued: usize = self.per_recording.iter().map(|l| l.queued).sum();
+        let lanes_dequeued: u64 = self.per_recording.iter().map(|l| l.dequeued).sum();
         self.submitted == self.resolved() + self.depth as u64 + self.in_flight as u64
+            && lanes_queued == self.depth
+            && lanes_dequeued + self.depth as u64 == self.admitted()
     }
 }
 
@@ -87,6 +124,13 @@ impl ServiceStats {
     }
 }
 
+/// One recording's mutable lane counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct Lane {
+    queued: u64,
+    dequeued: u64,
+}
+
 /// Mutable counters living under the shard lock.
 #[derive(Debug, Default)]
 pub(crate) struct ShardMetrics {
@@ -100,7 +144,11 @@ pub(crate) struct ShardMetrics {
     pub worker_lost: u64,
     pub retries: u64,
     pub batches: u64,
+    pub prologue_skipped: u64,
     pub batch_sizes: Vec<u64>,
+    /// Keyed by recording index; `BTreeMap` keeps snapshots sorted and
+    /// deterministic.
+    lanes: BTreeMap<usize, Lane>,
 }
 
 impl ShardMetrics {
@@ -110,6 +158,20 @@ impl ShardMetrics {
             self.batch_sizes.resize(tickets, 0);
         }
         self.batch_sizes[tickets - 1] += 1;
+    }
+
+    /// A request for `recording` was admitted to the queue.
+    pub fn note_admit(&mut self, recording: usize) {
+        self.lanes.entry(recording).or_default().queued += 1;
+    }
+
+    /// A request for `recording` left the queue (formation, expiry at
+    /// dequeue, or a drain).
+    pub fn note_dequeue(&mut self, recording: usize) {
+        let lane = self.lanes.entry(recording).or_default();
+        debug_assert!(lane.queued > 0, "dequeue without a matching admit");
+        lane.queued = lane.queued.saturating_sub(1);
+        lane.dequeued += 1;
     }
 
     pub fn snapshot(
@@ -134,7 +196,17 @@ impl ShardMetrics {
             worker_lost: self.worker_lost,
             retries: self.retries,
             batches: self.batches,
+            prologue_skipped: self.prologue_skipped,
             batch_sizes: self.batch_sizes.clone(),
+            per_recording: self
+                .lanes
+                .iter()
+                .map(|(&recording, lane)| RecordingStats {
+                    recording,
+                    queued: lane.queued as usize,
+                    dequeued: lane.dequeued,
+                })
+                .collect(),
         }
     }
 }
@@ -157,14 +229,57 @@ mod tests {
 
     #[test]
     fn consistency_accounts_for_queue_and_flight() {
-        let m = ShardMetrics {
+        let mut m = ShardMetrics {
             submitted: 5,
             completed: 2,
             faults: 1,
             ..ShardMetrics::default()
         };
+        // 5 submitted, all admitted: 3 dequeued (2 completed + 1 fault),
+        // 1 queued, 1 in flight... in-flight tickets were dequeued too.
+        for _ in 0..5 {
+            m.note_admit(0);
+        }
+        for _ in 0..4 {
+            m.note_dequeue(0);
+        }
         let s = m.snapshot("v3d", 1, 8, 1);
-        assert!(s.is_consistent());
+        assert!(s.is_consistent(), "{s:?}");
         assert_eq!(s.resolved(), 3);
+        assert_eq!(s.admitted(), 5);
+    }
+
+    #[test]
+    fn per_recording_lanes_are_sorted_and_balanced() {
+        let mut m = ShardMetrics {
+            submitted: 4,
+            ..ShardMetrics::default()
+        };
+        m.note_admit(1);
+        m.note_admit(0);
+        m.note_admit(1);
+        m.note_admit(7);
+        m.note_dequeue(1);
+        let s = m.snapshot("G71", 3, 8, 1);
+        let lanes: Vec<(usize, usize, u64)> = s
+            .per_recording
+            .iter()
+            .map(|l| (l.recording, l.queued, l.dequeued))
+            .collect();
+        assert_eq!(lanes, vec![(0, 1, 0), (1, 1, 1), (7, 1, 0)]);
+        // 4 admitted: 3 queued + 1 dequeued (in flight).
+        assert!(s.is_consistent(), "{s:?}");
+    }
+
+    #[test]
+    fn lane_imbalance_breaks_consistency() {
+        let mut m = ShardMetrics {
+            submitted: 1,
+            ..ShardMetrics::default()
+        };
+        m.note_admit(0);
+        // Snapshot claims depth 0 while the lane still holds the entry.
+        let s = m.snapshot("G71", 0, 8, 1);
+        assert!(!s.is_consistent(), "{s:?}");
     }
 }

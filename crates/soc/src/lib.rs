@@ -28,6 +28,7 @@
 //! # Ok::<(), gr_soc::MemError>(())
 //! ```
 
+pub mod dirty;
 pub mod frames;
 pub mod irq;
 pub mod mailbox;
@@ -35,6 +36,7 @@ pub mod mem;
 pub mod mmio;
 pub mod pmc;
 
+pub use dirty::{DirtyLog, DirtyMark, DirtyVerdict};
 pub use frames::FrameAllocator;
 pub use irq::{IrqController, IrqLine};
 pub use mailbox::{Mailbox, MboxRequest, MboxStatus};

@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::dirty::{DirtyLog, DirtyMark, DirtyVerdict};
+
 /// Page/frame size used throughout the machine (both GPU MMU formats map
 /// 4 KiB pages, like Mali's and v3d's smallest granule).
 pub const PAGE_SIZE: usize = 4096;
@@ -54,6 +56,9 @@ impl std::error::Error for MemError {}
 pub struct PhysMem {
     base: u64,
     bytes: Vec<u8>,
+    /// Write-interval log: every mutation path records here, so warm-
+    /// residency consumers can prove ranges unchanged between replays.
+    dirty: DirtyLog,
 }
 
 impl fmt::Debug for PhysMem {
@@ -77,7 +82,18 @@ impl PhysMem {
         PhysMem {
             base,
             bytes: vec![0; size],
+            dirty: DirtyLog::default(),
         }
+    }
+
+    /// The DRAM's dirty-range log (read-only view).
+    pub fn dirty(&self) -> &DirtyLog {
+        &self.dirty
+    }
+
+    /// Mutable access to the dirty log (epoch bumps, cap tuning).
+    pub fn dirty_mut(&mut self) -> &mut DirtyLog {
+        &mut self.dirty
     }
 
     /// First valid physical address.
@@ -127,6 +143,7 @@ impl PhysMem {
     pub fn write(&mut self, pa: u64, data: &[u8]) -> Result<(), MemError> {
         let off = self.offset(pa, data.len())?;
         self.bytes[off..off + data.len()].copy_from_slice(data);
+        self.dirty.record(pa, data.len());
         Ok(())
     }
 
@@ -178,6 +195,7 @@ impl PhysMem {
     pub fn fill(&mut self, pa: u64, len: usize, byte: u8) -> Result<(), MemError> {
         let off = self.offset(pa, len)?;
         self.bytes[off..off + len].fill(byte);
+        self.dirty.record(pa, len);
         Ok(())
     }
 
@@ -199,6 +217,8 @@ impl PhysMem {
     /// Returns [`MemError`] when out of bounds.
     pub fn slice_mut(&mut self, pa: u64, len: usize) -> Result<&mut [u8], MemError> {
         let off = self.offset(pa, len)?;
+        // Conservative: the whole borrowed range counts as written.
+        self.dirty.record(pa, len);
         Ok(&mut self.bytes[off..off + len])
     }
 }
@@ -352,6 +372,49 @@ impl SharedMem {
         MemWriteGuard {
             guard: self.inner.write(),
         }
+    }
+
+    /// A [`DirtyMark`] covering every DRAM write from now on.
+    pub fn dirty_mark(&self) -> DirtyMark {
+        self.inner.read().dirty().mark()
+    }
+
+    /// Current dirty-log epoch (bumped on GPU reset / AS switch).
+    pub fn dirty_epoch(&self) -> u64 {
+        self.inner.read().dirty().epoch()
+    }
+
+    /// Was physical `[pa, pa+len)` written since `mark`? See
+    /// [`DirtyVerdict`] for the `Unknown` fallback semantics.
+    pub fn dirty_since(&self, mark: DirtyMark, pa: u64, len: usize) -> DirtyVerdict {
+        self.inner.read().dirty().dirty_since(mark, pa, len)
+    }
+
+    /// The written subranges of physical `[pa, pa+len)` since `mark`
+    /// (see [`DirtyLog::dirty_intervals_since`]).
+    pub fn dirty_intervals_since(
+        &self,
+        mark: DirtyMark,
+        pa: u64,
+        len: usize,
+    ) -> Option<Vec<(u64, u64)>> {
+        self.inner
+            .read()
+            .dirty()
+            .dirty_intervals_since(mark, pa, len)
+    }
+
+    /// Invalidates every outstanding [`DirtyMark`]. The GPU device models
+    /// call this on soft reset and address-space switches, alongside their
+    /// `SoftTlb` flushes.
+    pub fn bump_dirty_epoch(&self) {
+        self.inner.write().dirty_mut().bump_epoch();
+    }
+
+    /// Bounds the dirty log's retained intervals (tests use a tiny cap to
+    /// force the `Unknown` → hash-fallback path).
+    pub fn set_dirty_log_cap(&self, cap: usize) {
+        self.inner.write().dirty_mut().set_cap(cap);
     }
 }
 

@@ -37,11 +37,12 @@ impl Region {
     }
 }
 
-/// GPU VA space with a region table: bump-allocated, with exact-fit
-/// recycling of freed ranges. Recycling is only sound because both
-/// drivers issue the architectural TLB shootdown on unmap — a stale
-/// cached translation for a recycled VA would otherwise read or write
-/// freed physical frames.
+/// GPU VA space with a region table: bump-allocated, with a free-list
+/// recycler that **splits** oversized holes on reuse and **coalesces**
+/// adjacent holes on free (general recycling — no exact-size-match
+/// restriction). Recycling is only sound because both drivers issue the
+/// architectural TLB shootdown on unmap — a stale cached translation for
+/// a recycled VA would otherwise read or write freed physical frames.
 #[derive(Debug)]
 pub struct VaSpace {
     next_va: u64,
@@ -49,9 +50,10 @@ pub struct VaSpace {
     regions: BTreeMap<u64, Region>,
     peak_pages: u64,
     mapped_pages: u64,
-    /// Freed `(va, pages)` ranges, reused oldest-first on an exact size
-    /// match (keeps allocation deterministic and fragmentation-free).
-    free: Vec<(u64, usize)>,
+    /// Freed holes, keyed by base VA → page count. Kept coalesced:
+    /// no two entries are adjacent. First-fit (lowest VA) reuse keeps
+    /// allocation deterministic.
+    free: BTreeMap<u64, usize>,
 }
 
 impl VaSpace {
@@ -63,19 +65,26 @@ impl VaSpace {
             regions: BTreeMap::new(),
             peak_pages: 0,
             mapped_pages: 0,
-            free: Vec::new(),
+            free: BTreeMap::new(),
         }
     }
 
     /// Reserves `pages` of VA (no mapping yet), returning the base VA.
-    /// Exact-size freed ranges are recycled before the bump pointer grows.
+    /// Freed holes are recycled first-fit before the bump pointer grows;
+    /// an oversized hole is split, its tail staying on the free list.
     ///
     /// # Errors
     ///
     /// Returns [`DriverError::OutOfMemory`] when VA space is exhausted.
     pub fn reserve(&mut self, pages: usize) -> Result<u64, DriverError> {
-        if let Some(i) = self.free.iter().position(|&(_, p)| p == pages) {
-            return Ok(self.free.remove(i).0);
+        if let Some((&va, &hole)) = self.free.iter().find(|&(_, &p)| p >= pages) {
+            self.free.remove(&va);
+            if hole > pages {
+                // Split: hand out the low part, keep the tail free.
+                self.free
+                    .insert(va + (pages * PAGE_SIZE) as u64, hole - pages);
+            }
+            return Ok(va);
         }
         let bytes = (pages * PAGE_SIZE) as u64;
         if self.next_va + bytes > self.limit {
@@ -84,6 +93,26 @@ impl VaSpace {
         let va = self.next_va;
         self.next_va += bytes;
         Ok(va)
+    }
+
+    /// Returns `(va, pages)` to the free list, merging with the holes
+    /// immediately below and above so fragmentation heals on free.
+    fn release_range(&mut self, va: u64, pages: usize) {
+        let mut start = va;
+        let mut count = pages;
+        if let Some((&prev_va, &prev_pages)) = self.free.range(..va).next_back() {
+            if prev_va + (prev_pages * PAGE_SIZE) as u64 == va {
+                self.free.remove(&prev_va);
+                start = prev_va;
+                count += prev_pages;
+            }
+        }
+        let end = va + (pages * PAGE_SIZE) as u64;
+        if let Some(&next_pages) = self.free.get(&end) {
+            self.free.remove(&end);
+            count += next_pages;
+        }
+        self.free.insert(start, count);
     }
 
     /// Records a region as mapped.
@@ -104,7 +133,7 @@ impl VaSpace {
             .remove(&va)
             .ok_or(DriverError::BadAddress(va))?;
         self.mapped_pages -= r.pages as u64;
-        self.free.push((va, r.pages));
+        self.release_range(va, r.pages);
         Ok(r)
     }
 
@@ -261,12 +290,56 @@ mod tests {
         let b = vs.reserve(1).unwrap();
         vs.insert(region(b, 1, 0x200_0000));
         vs.remove(a).unwrap();
-        // No exact match for 3 pages: bump allocation continues.
+        // The 2-page hole cannot satisfy 3 pages: bump allocation continues.
         assert_eq!(vs.reserve(3).unwrap(), b + PAGE_SIZE as u64);
-        // Exact match: the freed 2-page range comes back.
+        // Exact fit: the freed 2-page range comes back.
         assert_eq!(vs.reserve(2).unwrap(), a);
         // And is gone from the free list afterwards.
         assert_ne!(vs.reserve(2).unwrap(), a);
+    }
+
+    #[test]
+    fn oversized_hole_splits_on_reuse_and_recoalesces_on_free() {
+        let mut vs = VaSpace::new(0x10_0000, 1 << 30);
+        let a = vs.reserve(2).unwrap();
+        vs.insert(region(a, 2, 0x100_0000));
+        let guard = vs.reserve(1).unwrap(); // pins the bump pointer past `a`
+        vs.insert(region(guard, 1, 0x200_0000));
+        vs.remove(a).unwrap();
+
+        // A 2-page hole satisfies a 1-page allocation: the low half is
+        // handed out, the high half stays free.
+        let low = vs.reserve(1).unwrap();
+        assert_eq!(low, a, "split must reuse the hole's low half");
+        vs.insert(region(low, 1, 0x300_0000));
+        let high = vs.reserve(1).unwrap();
+        assert_eq!(
+            high,
+            a + PAGE_SIZE as u64,
+            "the split tail must be reused before the bump pointer grows"
+        );
+        vs.insert(region(high, 1, 0x400_0000));
+
+        // Freeing both halves re-coalesces the original 2-page hole...
+        vs.remove(low).unwrap();
+        vs.remove(high).unwrap();
+        assert_eq!(vs.reserve(2).unwrap(), a, "halves must merge back");
+
+        // ...and coalescing joins across a middle hole freed last.
+        let c = vs.reserve(3).unwrap();
+        vs.insert(region(c, 3, 0x500_0000));
+        vs.remove(c).unwrap();
+        let p0 = vs.reserve(1).unwrap();
+        let p1 = vs.reserve(1).unwrap();
+        let p2 = vs.reserve(1).unwrap();
+        assert_eq!((p0, p1, p2), (c, c + 0x1000, c + 0x2000));
+        vs.insert(region(p0, 1, 0x600_0000));
+        vs.insert(region(p1, 1, 0x700_0000));
+        vs.insert(region(p2, 1, 0x800_0000));
+        vs.remove(p0).unwrap();
+        vs.remove(p2).unwrap();
+        vs.remove(p1).unwrap(); // bridges the two holes
+        assert_eq!(vs.reserve(3).unwrap(), c, "three frees must merge");
     }
 
     #[test]
